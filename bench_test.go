@@ -1,0 +1,208 @@
+package zipg_test
+
+// Benchmark harness entry points: one testing.B benchmark per table and
+// figure of the paper's evaluation, each delegating to the experiment
+// runners in internal/bench at a benchmark-friendly scale. Run the full
+// suite with:
+//
+//	go test -bench=. -benchmem
+//
+// For paper-scale tables (bigger datasets, more operations, the full
+// printed output) use the standalone harness:
+//
+//	go run ./cmd/zipg-bench -experiment all -base 1048576 -ops 4000
+
+import (
+	"fmt"
+	"testing"
+
+	"zipg"
+	"zipg/internal/bench"
+	"zipg/internal/gen"
+	"zipg/internal/workloads"
+)
+
+// benchOpts keeps each experiment's end-to-end runtime in the seconds
+// range; shapes are scale-free (see internal/bench).
+var benchOpts = bench.Options{BaseBytes: 64 << 10, Ops: 400}
+
+func runExperiment(b *testing.B, name string, opts bench.Options) {
+	b.Helper()
+	fn, ok := bench.Experiments[name]
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := fn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Logf("\n%s", r.Format())
+		}
+	}
+}
+
+// BenchmarkTable4Datasets regenerates Table 4 (dataset statistics).
+func BenchmarkTable4Datasets(b *testing.B) { runExperiment(b, "table4", benchOpts) }
+
+// BenchmarkFig5StorageFootprint regenerates Figure 5 (storage footprint
+// ratios for all six datasets across the five systems).
+func BenchmarkFig5StorageFootprint(b *testing.B) { runExperiment(b, "fig5", benchOpts) }
+
+// BenchmarkTable5MemoryFit regenerates Table 5 (which datasets fit each
+// system's memory budget).
+func BenchmarkTable5MemoryFit(b *testing.B) { runExperiment(b, "table5", benchOpts) }
+
+// BenchmarkFig6TAO regenerates Figure 6 (single-server TAO throughput,
+// overall mix plus the top five component queries).
+func BenchmarkFig6TAO(b *testing.B) { runExperiment(b, "fig6", benchOpts) }
+
+// BenchmarkFig7LinkBench regenerates Figure 7 (single-server LinkBench
+// throughput, write-heavy mix).
+func BenchmarkFig7LinkBench(b *testing.B) { runExperiment(b, "fig7", benchOpts) }
+
+// BenchmarkFig8GraphSearch regenerates Figure 8 (single-server Graph
+// Search throughput, GS1-GS5).
+func BenchmarkFig8GraphSearch(b *testing.B) { runExperiment(b, "fig8", benchOpts) }
+
+// BenchmarkFig9Distributed regenerates Figure 9 (10-server cluster
+// throughput for TAO, LinkBench and Graph Search; ZipG vs Titan).
+func BenchmarkFig9Distributed(b *testing.B) { runExperiment(b, "fig9", benchOpts) }
+
+// BenchmarkFig10Fragmentation regenerates Figure 10 (CDF of per-node
+// fragmentation under the LinkBench write mix).
+func BenchmarkFig10Fragmentation(b *testing.B) { runExperiment(b, "fig10", benchOpts) }
+
+// BenchmarkFig11FragmentationGrowth regenerates Figure 11 (average and
+// maximum fragmentation versus executed queries).
+func BenchmarkFig11FragmentationGrowth(b *testing.B) { runExperiment(b, "fig11", benchOpts) }
+
+// BenchmarkFig12RegularPathQueries regenerates Figure 12 (latency of the
+// 50 gMark-style path queries, ZipG vs Neo4j-Tuned).
+func BenchmarkFig12RegularPathQueries(b *testing.B) { runExperiment(b, "fig12", benchOpts) }
+
+// BenchmarkFig13BFS regenerates Figure 13 (breadth-first traversal
+// latency at depth 5).
+func BenchmarkFig13BFS(b *testing.B) { runExperiment(b, "fig13", benchOpts) }
+
+// BenchmarkFig14Joins regenerates Figure 14 (ZipG's GS2/GS3 with and
+// without joins).
+func BenchmarkFig14Joins(b *testing.B) {
+	runExperiment(b, "fig14", bench.Options{BaseBytes: 128 << 10, Ops: 200})
+}
+
+// --- micro-benchmarks of the public API on a realistic graph ---
+
+func benchGraph(b *testing.B) (*zipg.Graph, *gen.Dataset) {
+	b.Helper()
+	d := gen.DatasetSpec{
+		Name: "micro", Kind: gen.RealWorld,
+		TargetBytes: 256 << 10, AvgDegree: 15, NumEdgeTypes: 5, Seed: 5150,
+	}.Generate()
+	g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{NumShards: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, d
+}
+
+// BenchmarkObjGet measures get_node_property(id, *) — TAO's obj_get.
+func BenchmarkObjGet(b *testing.B) {
+	g, d := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GetNodeProperty(int64(i%d.NumNodes()), nil)
+	}
+}
+
+// BenchmarkAssocRange measures Algorithm 1 on the compressed store.
+func BenchmarkAssocRange(b *testing.B) {
+	g, d := benchGraph(b)
+	tao := workloads.TAO{S: g}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tao.AssocRange(int64(i%d.NumNodes()), int64(i%5), 0, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssocCount measures the metadata-only count path.
+func BenchmarkAssocCount(b *testing.B) {
+	g, d := benchGraph(b)
+	tao := workloads.TAO{S: g}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tao.AssocCount(int64(i%d.NumNodes()), int64(i%5))
+	}
+}
+
+// BenchmarkGetNodeIDs measures compressed substring search
+// (get_node_ids).
+func BenchmarkGetNodeIDs(b *testing.B) {
+	g, d := benchGraph(b)
+	pool := d.Vocab["prop00"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GetNodeIDs(map[string]string{"prop00": pool[i%len(pool)]})
+	}
+}
+
+// BenchmarkNeighborFilter measures the no-join neighbor+property plan.
+func BenchmarkNeighborFilter(b *testing.B) {
+	g, d := benchGraph(b)
+	pool := d.Vocab["prop01"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GetNeighborIDs(int64(i%d.NumNodes()), zipg.WildcardType,
+			map[string]string{"prop01": pool[i%len(pool)]})
+	}
+}
+
+// BenchmarkAppendEdge measures the LogStore write path.
+func BenchmarkAppendEdge(b *testing.B) {
+	g, d := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := g.AppendEdge(zipg.Edge{
+			Src: int64(i % d.NumNodes()), Dst: int64((i + 1) % d.NumNodes()),
+			Type: int64(i % 5), Timestamp: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompress measures end-to-end compression throughput.
+func BenchmarkCompress(b *testing.B) {
+	d := gen.DatasetSpec{
+		Name: "compress", Kind: gen.RealWorld,
+		TargetBytes: 128 << 10, AvgDegree: 10, NumEdgeTypes: 3, Seed: 99,
+	}.Generate()
+	b.SetBytes(d.RawBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example demonstrates the API end to end (shown on the package docs).
+func Example() {
+	g, err := zipg.Compress(zipg.GraphData{
+		Nodes: []zipg.Node{
+			{ID: 0, Props: map[string]string{"name": "alice", "location": "Ithaca"}},
+			{ID: 1, Props: map[string]string{"name": "bob", "location": "Princeton"}},
+		},
+		Edges: []zipg.Edge{{Src: 0, Dst: 1, Type: 0, Timestamp: 42}},
+	}, zipg.Options{})
+	if err != nil {
+		panic(err)
+	}
+	name, _ := g.GetNodeProperty(1, []string{"name"})
+	fmt.Println(name[0], g.GetNeighborIDs(0, 0, nil))
+	// Output: bob [1]
+}

@@ -1,0 +1,61 @@
+// Command zipg-bench regenerates the paper's tables and figures. Each
+// experiment builds the systems under test over generated datasets and
+// prints the corresponding table; EXPERIMENTS.md records how the shapes
+// compare with the paper.
+//
+// Usage:
+//
+//	zipg-bench -experiment fig6 [-base 1048576] [-ops 4000] [-v]
+//	zipg-bench -experiment all
+//	zipg-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"zipg/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment to run (see -list), or 'all'")
+	base := flag.Int64("base", 256<<10, "base dataset size in bytes (the smallest dataset; others scale 12.5x and 32x)")
+	ops := flag.Int("ops", 2000, "operations per throughput measurement")
+	verbose := flag.Bool("v", false, "print progress")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(bench.ExperimentNames(), " "))
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "usage: zipg-bench -experiment <id|all> [-base N] [-ops N] [-v]")
+		fmt.Fprintln(os.Stderr, "experiments:", strings.Join(bench.ExperimentNames(), " "))
+		os.Exit(2)
+	}
+
+	opts := bench.Options{BaseBytes: *base, Ops: *ops, Verbose: *verbose}
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = bench.ExperimentNames()
+	}
+	for _, name := range names {
+		fn, ok := bench.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", name, strings.Join(bench.ExperimentNames(), " "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		r, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Format())
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,291 @@
+// Command zipg-cli is an interactive shell over a ZipG cluster (connect
+// with -servers) or over a freshly generated local graph (default). It
+// exposes the Table 1 API:
+//
+//	props <id> [propertyID...]      get_node_property
+//	find <key>=<value> ...          get_node_ids
+//	neighbors <id> [type] [k=v...]  get_neighbor_ids
+//	record <id> <type>              get_edge_record (+ all edge data)
+//	count <id> <type>               assoc_count
+//	add-node <id> k=v ...           append
+//	add-edge <src> <dst> <type> <ts> [k=v...]
+//	del-node <id>                   delete
+//	del-edge <src> <type> <dst>     delete
+//	save <path> / load <path>       persist / restore (local mode)
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"zipg"
+	"zipg/internal/cluster"
+	"zipg/internal/gen"
+	"zipg/internal/graphapi"
+)
+
+func main() {
+	servers := flag.String("servers", "", "comma-separated cluster addresses (empty: local generated graph)")
+	dataset := flag.String("dataset", "orkut", "dataset for local mode")
+	base := flag.Int64("base", 128<<10, "local dataset base size")
+	flag.Parse()
+
+	var store graphapi.Store
+	var local *zipg.Graph
+	if *servers != "" {
+		client, err := cluster.NewClient(strings.Split(*servers, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		store = client
+		fmt.Printf("connected to %s\n", *servers)
+	} else {
+		var d *gen.Dataset
+		for _, spec := range gen.StandardSpecs(*base) {
+			if spec.Name == *dataset {
+				d = spec.Generate()
+			}
+		}
+		if d == nil {
+			fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+		fmt.Printf("compressing local %s (%d nodes, %d edges)...\n", *dataset, d.NumNodes(), d.NumEdges())
+		g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{NumShards: 2})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("footprint: %d bytes (raw %d)\n", g.CompressedFootprint(), g.RawSize())
+		store = g
+		local = g
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("zipg> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if line == "quit" || line == "exit" {
+				return
+			}
+			fields := strings.Fields(line)
+			switch {
+			case fields[0] == "save" && len(fields) == 2:
+				if err := saveLocal(local, fields[1]); err != nil {
+					fmt.Println("error:", err)
+				}
+			case fields[0] == "load" && len(fields) == 2:
+				g, err := loadLocal(fields[1])
+				if err != nil {
+					fmt.Println("error:", err)
+				} else {
+					store, local = g, g
+					fmt.Println("loaded", fields[1])
+				}
+			default:
+				if err := run(store, fields); err != nil {
+					fmt.Println("error:", err)
+				}
+			}
+		}
+		fmt.Print("zipg> ")
+	}
+}
+
+// saveLocal persists a local graph to path.
+func saveLocal(g *zipg.Graph, path string) error {
+	if g == nil {
+		return fmt.Errorf("save works in local mode only")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.Save(f); err != nil {
+		return err
+	}
+	fmt.Println("saved", path)
+	return f.Sync()
+}
+
+// loadLocal restores a graph persisted by saveLocal.
+func loadLocal(path string) (*zipg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return zipg.Load(f, nil)
+}
+
+func parseProps(args []string) (map[string]string, error) {
+	props := map[string]string{}
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return nil, fmt.Errorf("expected key=value, got %q", a)
+		}
+		props[k] = v
+	}
+	return props, nil
+}
+
+func parseID(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+func run(s graphapi.Store, args []string) error {
+	switch args[0] {
+	case "props":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: props <id> [propertyID...]")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		vals, ok := s.GetNodeProperty(id, args[2:])
+		if !ok {
+			return fmt.Errorf("node %d not found", id)
+		}
+		fmt.Println(vals)
+	case "find":
+		props, err := parseProps(args[1:])
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.GetNodeIDs(props))
+	case "neighbors":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: neighbors <id> [type] [k=v...]")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		etype := graphapi.WildcardType
+		rest := args[2:]
+		if len(rest) > 0 && !strings.Contains(rest[0], "=") {
+			if etype, err = parseID(rest[0]); err != nil {
+				return err
+			}
+			rest = rest[1:]
+		}
+		props, err := parseProps(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.GetNeighborIDs(id, etype, props))
+	case "record":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: record <id> <type>")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		etype, err := parseID(args[2])
+		if err != nil {
+			return err
+		}
+		rec, ok := s.GetEdgeRecord(id, etype)
+		if !ok {
+			return fmt.Errorf("no record (%d,%d)", id, etype)
+		}
+		fmt.Printf("count=%d\n", rec.Count())
+		for i := 0; i < rec.Count(); i++ {
+			d, err := rec.Data(i)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  [%d] dst=%d ts=%d props=%v\n", i, d.Dst, d.Timestamp, d.Props)
+		}
+	case "count":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: count <id> <type>")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		etype, err := parseID(args[2])
+		if err != nil {
+			return err
+		}
+		if rec, ok := s.GetEdgeRecord(id, etype); ok {
+			fmt.Println(rec.Count())
+		} else {
+			fmt.Println(0)
+		}
+	case "add-node":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: add-node <id> [k=v...]")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		props, err := parseProps(args[2:])
+		if err != nil {
+			return err
+		}
+		return s.AppendNode(id, props)
+	case "add-edge":
+		if len(args) < 5 {
+			return fmt.Errorf("usage: add-edge <src> <dst> <type> <ts> [k=v...]")
+		}
+		var vals [4]int64
+		for i := 0; i < 4; i++ {
+			v, err := parseID(args[1+i])
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		props, err := parseProps(args[5:])
+		if err != nil {
+			return err
+		}
+		return s.AppendEdge(graphapi.Edge{Src: vals[0], Dst: vals[1], Type: vals[2], Timestamp: vals[3], Props: props})
+	case "del-node":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: del-node <id>")
+		}
+		id, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		return s.DeleteNode(id)
+	case "del-edge":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: del-edge <src> <type> <dst>")
+		}
+		src, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		etype, err := parseID(args[2])
+		if err != nil {
+			return err
+		}
+		dst, err := parseID(args[3])
+		if err != nil {
+			return err
+		}
+		n, err := s.DeleteEdges(src, etype, dst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleted %d edges\n", n)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+	return nil
+}

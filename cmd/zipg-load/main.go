@@ -1,0 +1,67 @@
+// Command zipg-load generates one of the evaluation datasets, partitions
+// it for a cluster, and writes one partition file per server for
+// cmd/zipg-server to load.
+//
+// Usage:
+//
+//	zipg-load -dataset orkut -base 1048576 -servers 3 -out /tmp/zipg
+//
+// writes /tmp/zipg/part-0.graph ... part-2.graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"zipg"
+	"zipg/internal/cluster"
+	"zipg/internal/datafile"
+	"zipg/internal/gen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "orkut", "dataset name (orkut, twitter, uk, lb-small, lb-medium, lb-large)")
+	base := flag.Int64("base", 1<<20, "base dataset size in bytes")
+	servers := flag.Int("servers", 1, "number of cluster servers to partition for")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	var d *gen.Dataset
+	for _, spec := range gen.StandardSpecs(*base) {
+		if spec.Name == *dataset {
+			d = spec.Generate()
+		}
+	}
+	if d == nil {
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	nodeSchema, edgeSchema, err := zipg.DeriveSchemas(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	partNodes, partEdges := cluster.Partition(d.Nodes, d.Edges, *servers)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for sid := 0; sid < *servers; sid++ {
+		path := filepath.Join(*out, fmt.Sprintf("part-%d.graph", sid))
+		err := datafile.Write(path, &datafile.Graph{
+			Nodes:      partNodes[sid],
+			Edges:      partEdges[sid],
+			NodeSchema: nodeSchema.Spec(),
+			EdgeSchema: edgeSchema.Spec(),
+			ServerID:   sid,
+			NumServers: *servers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d nodes, %d edges)\n", path, len(partNodes[sid]), len(partEdges[sid]))
+	}
+}

@@ -1,0 +1,116 @@
+package zipg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersAndWriters exercises §4.1's concurrency-control
+// claim: compressed shards are immutable and read lock-free; locks
+// protect only the LogStore, update pointers and deletion state. The
+// race detector validates the synchronization; the assertions validate
+// that every read observes a consistent store.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	var data GraphData
+	for i := 0; i < 60; i++ {
+		data.Nodes = append(data.Nodes, Node{ID: NodeID(i), Props: map[string]string{
+			"name": fmt.Sprintf("user%d", i),
+			"city": []string{"Ithaca", "Berkeley"}[i%2],
+		}})
+	}
+	for i := 0; i < 240; i++ {
+		data.Edges = append(data.Edges, Edge{
+			Src: NodeID(i % 60), Dst: NodeID((i * 7) % 60),
+			Type: EdgeType(i % 3), Timestamp: int64(i),
+		})
+	}
+	g, err := Compress(data, Options{
+		NumShards:         4,
+		SamplingRate:      8,
+		LogStoreThreshold: 20 << 10, // small enough to roll over mid-test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: appends, updates, deletes.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 300; i++ {
+				id := NodeID(1000 + w*1000 + i)
+				if err := g.AppendNode(id, map[string]string{"name": "w", "city": "Ithaca"}); err != nil {
+					t.Errorf("AppendNode: %v", err)
+					return
+				}
+				if err := g.AppendEdge(Edge{Src: NodeID(i % 60), Dst: id, Type: 0, Timestamp: int64(i)}); err != nil {
+					t.Errorf("AppendEdge: %v", err)
+					return
+				}
+				if i%17 == 0 {
+					g.DeleteNode(NodeID(i % 60))
+				}
+				if i%13 == 0 {
+					if _, err := g.DeleteEdges(NodeID(i%60), 0, NodeID((i*7)%60)); err != nil {
+						t.Errorf("DeleteEdges: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Readers: every read-path API, continuously until writers finish.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := NodeID(i % 60)
+				if vals, ok := g.GetNodeProperty(id, []string{"name"}); ok && len(vals) != 1 {
+					t.Errorf("GetNodeProperty returned %d values", len(vals))
+					return
+				}
+				g.GetNeighborIDs(id, WildcardType, nil)
+				if rec, ok := g.GetEdgeRecord(id, 0); ok {
+					n := rec.Count()
+					if n > 0 {
+						if _, err := rec.Data(n - 1); err != nil {
+							t.Errorf("Data: %v", err)
+							return
+						}
+					}
+					rec.Range(WildcardTime, WildcardTime)
+				}
+				if i%50 == 0 {
+					g.GetNodeIDs(map[string]string{"city": "Berkeley"})
+				}
+			}
+		}(r)
+	}
+
+	// Wait for writers, then stop readers.
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Post-conditions: all surviving appended nodes are readable.
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 300; i++ {
+			id := NodeID(1000 + w*1000 + i)
+			if _, ok := g.GetNodeProperty(id, nil); !ok {
+				t.Fatalf("appended node %d lost", id)
+			}
+		}
+	}
+}

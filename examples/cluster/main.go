@@ -1,0 +1,70 @@
+// Cluster: a 3-server distributed ZipG on loopback TCP (§4.1 of the
+// paper): hash-partitioned shards, one aggregator per server, and
+// function shipping for neighbor queries whose property checks live on
+// other servers (Figure 4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipg"
+	"zipg/internal/cluster"
+	"zipg/internal/gen"
+)
+
+func main() {
+	d := gen.DatasetSpec{
+		Name: "clustered", Kind: gen.RealWorld,
+		TargetBytes: 256 << 10, AvgDegree: 10, NumEdgeTypes: 3, Seed: 21,
+	}.Generate()
+	nodeSchema, edgeSchema, err := zipg.DeriveSchemas(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("launching 3 servers over %d nodes / %d edges...\n", d.NumNodes(), d.NumEdges())
+	c, err := cluster.Launch(d.Nodes, d.Edges, nodeSchema, edgeSchema, cluster.LaunchConfig{
+		NumServers:      3,
+		ShardsPerServer: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	for sid, addr := range c.Addrs {
+		fmt.Printf("  server %d on %s\n", sid, addr)
+	}
+
+	client, err := c.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// A node query routes to its owner server.
+	id := zipg.NodeID(5)
+	fmt.Printf("node %d lives on server %d\n", id, cluster.OwnerOf(id, 3))
+	props, ok := client.GetNodeProperty(id, nil)
+	fmt.Printf("props: %d values (found=%v)\n", len(props), ok)
+
+	// A filtered neighbor query ships property checks to the neighbors'
+	// owners (Figure 4: "Carol & Dan's cities?").
+	loc := d.Vocab["prop01"][0]
+	nbr := client.GetNeighborIDs(id, zipg.WildcardType, map[string]string{"prop01": loc})
+	fmt.Printf("neighbors of %d with prop01=%q: %v\n", id, loc, nbr)
+
+	// get_node_ids fans out to every server and aggregates.
+	found := client.GetNodeIDs(map[string]string{"prop01": loc})
+	fmt.Printf("all nodes with prop01=%q: %d (aggregated across 3 servers)\n", loc, len(found))
+
+	// Writes route to the owner; reads see them cluster-wide.
+	if err := client.AppendNode(777777, map[string]string{"prop01": loc}); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.AppendEdge(zipg.Edge{Src: id, Dst: 777777, Type: 0, Timestamp: 42}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after append: neighbors of %d with prop01=%q: %v\n",
+		id, loc, client.GetNeighborIDs(id, zipg.WildcardType, map[string]string{"prop01": loc}))
+}

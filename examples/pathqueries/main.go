@@ -1,0 +1,64 @@
+// Pathqueries: regular path queries (Appendix B.1 of the paper) over a
+// multi-label graph — regexes over edge labels evaluated directly on the
+// compressed representation, including Kleene-star transitive closure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipg"
+	"zipg/internal/graphapi"
+	"zipg/internal/rpq"
+)
+
+func main() {
+	// A small "social network" with labeled edges:
+	//   a = follows, b = posted, c = likes.
+	nodes := make([]zipg.Node, 8)
+	for i := range nodes {
+		nodes[i] = zipg.Node{ID: int64(i)}
+	}
+	edges := []zipg.Edge{
+		{Src: 0, Dst: 1, Type: 0, Timestamp: 1}, // 0 follows 1
+		{Src: 1, Dst: 2, Type: 0, Timestamp: 2}, // 1 follows 2
+		{Src: 2, Dst: 3, Type: 0, Timestamp: 3}, // 2 follows 3
+		{Src: 3, Dst: 6, Type: 1, Timestamp: 4}, // 3 posted 6
+		{Src: 1, Dst: 4, Type: 1, Timestamp: 5}, // 1 posted 4
+		{Src: 0, Dst: 4, Type: 2, Timestamp: 6}, // 0 likes 4
+		{Src: 5, Dst: 4, Type: 2, Timestamp: 7}, // 5 likes 4
+	}
+	g, err := zipg.Compress(zipg.GraphData{Nodes: nodes, Edges: edges}, zipg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := make([]graphapi.NodeID, len(nodes))
+	for i := range all {
+		all[i] = int64(i)
+	}
+
+	queries := []struct {
+		expr string
+		desc string
+	}{
+		{"ab", "posts by people I follow (follows.posted)"},
+		{"a*b", "posts reachable through any follow chain"},
+		{"a+", "transitive closure of follows"},
+		{"(a|c)b?", "follow or like, optionally then a post"},
+	}
+	for _, q := range queries {
+		e, err := rpq.Parse(q.expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pairs := e.Eval(g, all, rpq.Limits{})
+		fmt.Printf("%-8s %-50s -> %v\n", q.expr, q.desc, pairs)
+	}
+
+	// gMark-style generated workload: 10 queries over 3 labels.
+	fmt.Println("\ngenerated gMark-style queries:")
+	for _, q := range rpq.GenerateQueries(3, 10, 3) {
+		pairs := q.Expr.Eval(g, all, rpq.Limits{MaxResults: 50})
+		fmt.Printf("  q%-2d [%s] %-12s -> %d pairs\n", q.ID, q.Class, q.Expr.Text, len(pairs))
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a small property graph, compress it, and run every
+// query of ZipG's API (Table 1 of the paper) — the running example from
+// the paper's Figures 1 and 2 (Alice, Bob, Eve and their typed,
+// timestamped edges).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipg"
+)
+
+const (
+	alice = zipg.NodeID(0)
+	bob   = zipg.NodeID(1)
+	eve   = zipg.NodeID(2)
+
+	friend  = zipg.EdgeType(0)
+	comment = zipg.EdgeType(1)
+)
+
+func main() {
+	data := zipg.GraphData{
+		Nodes: []zipg.Node{
+			{ID: alice, Props: map[string]string{"nickname": "Ally", "age": "42", "location": "Ithaca"}},
+			{ID: bob, Props: map[string]string{"nickname": "Bobby", "location": "Princeton"}},
+			{ID: eve, Props: map[string]string{"age": "24", "nickname": "Cat"}},
+		},
+		Edges: []zipg.Edge{
+			{Src: alice, Dst: bob, Type: friend, Timestamp: 100},
+			{Src: alice, Dst: eve, Type: friend, Timestamp: 200},
+			{Src: alice, Dst: bob, Type: comment, Timestamp: 150, Props: map[string]string{"text": "hello Bob!"}},
+			{Src: bob, Dst: alice, Type: friend, Timestamp: 100},
+		},
+	}
+
+	// compress(graph): build the memory-efficient representation.
+	g, err := zipg.Compress(data, zipg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// get_node_property: "Get Alice's age and location."
+	vals, _ := g.GetNodeProperty(alice, []string{"age", "location"})
+	fmt.Printf("Alice: age=%s location=%s\n", vals[0], vals[1])
+
+	// get_node_ids: "Find people in Ithaca."
+	fmt.Println("in Ithaca:", g.GetNodeIDs(map[string]string{"location": "Ithaca"}))
+
+	// get_neighbor_ids: "Find Alice's friends who live in Princeton."
+	fmt.Println("Alice's friends in Princeton:",
+		g.GetNeighborIDs(alice, friend, map[string]string{"location": "Princeton"}))
+
+	// get_edge_record + get_edge_data: "Find Alice's most recent friend."
+	rec, _ := g.GetEdgeRecord(alice, friend)
+	latest, _ := rec.Data(rec.Count() - 1)
+	fmt.Printf("Alice's most recent friend: node %d (at t=%d)\n", latest.Dst, latest.Timestamp)
+
+	// get_edge_range: "friends added in [50, 150)".
+	beg, end := rec.Range(50, 150)
+	fmt.Printf("friendships in [50,150): time orders [%d,%d)\n", beg, end)
+
+	// append: "Append new node for Dan and befriend him."
+	if err := g.AppendNode(3, map[string]string{"nickname": "Dan", "location": "Ithaca"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := g.AppendEdge(zipg.Edge{Src: alice, Dst: 3, Type: friend, Timestamp: 300}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Alice's friends now:", g.GetNeighborIDs(alice, friend, nil))
+
+	// delete: "Delete Bob from Alice's friends list."
+	n, _ := g.DeleteEdges(alice, friend, bob)
+	fmt.Printf("deleted %d edges; Alice's friends: %v\n", n, g.GetNeighborIDs(alice, friend, nil))
+
+	fmt.Printf("compressed footprint: %d bytes (raw layout: %d bytes)\n",
+		g.CompressedFootprint(), g.RawSize())
+}

@@ -1,0 +1,80 @@
+// TAO: serve Facebook TAO's object/association API (Table 2 and
+// Algorithms 1–3 of the paper) on top of ZipG, then drive it with the
+// TAO production query mix and report per-operation counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipg"
+	"zipg/internal/gen"
+	"zipg/internal/workloads"
+)
+
+func main() {
+	d := gen.DatasetSpec{
+		Name: "tao", Kind: gen.RealWorld,
+		TargetBytes: 512 << 10, AvgDegree: 15, NumEdgeTypes: 5, Seed: 11,
+	}.Generate()
+	g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{NumShards: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tao := workloads.TAO{S: g}
+
+	obj := zipg.NodeID(2)
+	const atype = 1
+
+	// obj_get: all properties of an object.
+	props, _ := tao.ObjGet(obj)
+	fmt.Printf("obj_get(%d): %d properties\n", obj, len(props))
+
+	// assoc_count: association-list size straight from the EdgeRecord
+	// metadata.
+	fmt.Printf("assoc_count(%d,%d) = %d\n", obj, atype, tao.AssocCount(obj, atype))
+
+	// assoc_range (Algorithm 1): a page of the newest associations.
+	page, err := tao.AssocRange(obj, atype, 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assoc_range(%d,%d,0,5): %d assocs\n", obj, atype, len(page))
+	for _, a := range page {
+		fmt.Printf("  -> %d at %d\n", a.Dst, a.Timestamp)
+	}
+
+	// assoc_time_range (Algorithm 3): "all comments since last login".
+	lastLogin := int64(1_400_000_000 + 25*24*3600)
+	recent, err := tao.AssocTimeRange(obj, atype, lastLogin, 1<<62, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assoc_time_range since day 25: %d assocs\n", len(recent))
+
+	// assoc_add / assoc_del: mutate an association list.
+	if err := tao.AssocAdd(zipg.Edge{Src: obj, Dst: 999999, Type: atype, Timestamp: 1_500_000_000}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after assoc_add: count = %d\n", tao.AssocCount(obj, atype))
+	if err := tao.AssocDel(obj, atype, 999999); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after assoc_del: count = %d\n", tao.AssocCount(obj, atype))
+
+	// Drive the production mix (Table 2's TAO column: 99.8% reads).
+	ops := workloads.GenerateOps(d, workloads.MixConfig{Mix: workloads.TAOMix, Seed: 12}, 5000)
+	counts := map[workloads.OpKind]int{}
+	for _, op := range ops {
+		if _, err := workloads.Execute(g, op); err != nil {
+			log.Fatal(err)
+		}
+		counts[op.Kind]++
+	}
+	fmt.Println("executed TAO mix:")
+	for k := workloads.OpKind(0); int(k) < len(counts)+4; k++ {
+		if c, ok := counts[k]; ok {
+			fmt.Printf("  %-18s %5d (%.1f%%)\n", k, c, 100*float64(c)/float64(len(ops)))
+		}
+	}
+}

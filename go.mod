@@ -1,0 +1,3 @@
+module zipg
+
+go 1.22

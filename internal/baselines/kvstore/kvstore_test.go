@@ -1,0 +1,201 @@
+package kvstore
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"zipg/internal/graphapi"
+	"zipg/internal/memsim"
+)
+
+func TestLSMPutGetDelete(t *testing.T) {
+	l := newLSM(lsmConfig{})
+	l.put("a", []byte("1"))
+	l.put("b", []byte("2"))
+	if ops := l.get("a"); len(ops) != 1 || string(ops[0].data) != "1" {
+		t.Fatalf("get a = %v", ops)
+	}
+	l.put("a", []byte("3")) // overwrite
+	if ops := l.get("a"); len(ops) != 1 || string(ops[0].data) != "3" {
+		t.Fatalf("after overwrite: %v", ops)
+	}
+	l.del("a")
+	if ops := l.get("a"); ops != nil {
+		t.Fatalf("after delete: %v", ops)
+	}
+	if ops := l.get("missing"); ops != nil {
+		t.Fatalf("missing key: %v", ops)
+	}
+}
+
+func TestLSMMergeSemantics(t *testing.T) {
+	l := newLSM(lsmConfig{})
+	l.put("k", []byte("base"))
+	l.merge("k", []byte("m1"))
+	l.merge("k", []byte("m2"))
+	ops := l.get("k")
+	if len(ops) != 3 || ops[0].kind != opPut || string(ops[2].data) != "m2" {
+		t.Fatalf("merge history = %v", ops)
+	}
+	// A new base supersedes history.
+	l.put("k", []byte("base2"))
+	ops = l.get("k")
+	if len(ops) != 1 || string(ops[0].data) != "base2" {
+		t.Fatalf("after new base: %v", ops)
+	}
+	// Merges after a delete survive.
+	l.del("k")
+	l.merge("k", []byte("m3"))
+	ops = l.get("k")
+	if len(ops) != 2 || ops[0].kind != opDelete || string(ops[1].data) != "m3" {
+		t.Fatalf("after delete+merge: %v", ops)
+	}
+}
+
+func TestLSMFlushAndSSTableReads(t *testing.T) {
+	l := newLSM(lsmConfig{memtableBytes: 1 << 30})
+	for i := 0; i < 500; i++ {
+		l.put(fmt.Sprintf("key-%04d", i), []byte(fmt.Sprintf("value-%d", i)))
+	}
+	l.flush()
+	if len(l.tables) != 1 {
+		t.Fatalf("tables = %d", len(l.tables))
+	}
+	for i := 0; i < 500; i += 37 {
+		ops := l.get(fmt.Sprintf("key-%04d", i))
+		if len(ops) != 1 || string(ops[0].data) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("sstable get key-%04d = %v", i, ops)
+		}
+	}
+	// Memtable writes shadow SSTable data.
+	l.put("key-0000", []byte("new"))
+	if ops := l.get("key-0000"); string(ops[0].data) != "new" {
+		t.Fatalf("memtable should shadow sstable")
+	}
+}
+
+func TestLSMAutoFlushAndCompaction(t *testing.T) {
+	l := newLSM(lsmConfig{memtableBytes: 2 << 10, maxTables: 3})
+	for i := 0; i < 400; i++ {
+		l.put(fmt.Sprintf("k%03d", i%50), []byte(fmt.Sprintf("v%d", i)))
+	}
+	l.flush()
+	if len(l.tables) > 3+1 {
+		t.Fatalf("compaction did not bound tables: %d", len(l.tables))
+	}
+	// All keys resolve to their newest values.
+	for i := 350; i < 400; i++ {
+		ops := l.get(fmt.Sprintf("k%03d", i%50))
+		if len(ops) == 0 {
+			t.Fatalf("key k%03d lost", i%50)
+		}
+		if got := string(ops[len(ops)-1].data); got != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%03d = %q, want v%d", i%50, got, i)
+		}
+	}
+}
+
+func TestCompressedBlocksRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		l := newLSM(lsmConfig{compress: compress, memtableBytes: 1 << 30, blockBytes: 1 << 10})
+		for i := 0; i < 300; i++ {
+			l.put(fmt.Sprintf("key-%04d", i), []byte("payload payload payload payload"))
+		}
+		l.flush()
+		for i := 0; i < 300; i += 17 {
+			if ops := l.get(fmt.Sprintf("key-%04d", i)); len(ops) != 1 {
+				t.Fatalf("compress=%v: key-%04d = %v", compress, i, ops)
+			}
+		}
+	}
+}
+
+func TestCompressionShrinksFootprint(t *testing.T) {
+	build := func(compress bool) int64 {
+		med := memsim.Unlimited()
+		l := newLSM(lsmConfig{med: med, compress: compress, memtableBytes: 1 << 30})
+		for i := 0; i < 500; i++ {
+			l.put(fmt.Sprintf("key-%04d", i), []byte("highly repetitive value highly repetitive value"))
+		}
+		l.flush()
+		return l.footprintBytes()
+	}
+	plain, compressed := build(false), build(true)
+	if compressed >= plain {
+		t.Errorf("compressed %d >= plain %d", compressed, plain)
+	}
+}
+
+func TestStoreEdgesBidirectionalFootprint(t *testing.T) {
+	nodes := []graphapi.Node{{ID: 0}, {ID: 1}}
+	mkEdges := func(n int) []graphapi.Edge {
+		es := make([]graphapi.Edge, n)
+		for i := range es {
+			es[i] = graphapi.Edge{Src: 0, Dst: 1, Type: 0, Timestamp: int64(i),
+				Props: map[string]string{"p": "0123456789abcdef0123456789abcdef"}}
+		}
+		return es
+	}
+	s1, err := New(nodes, mkEdges(50), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(nodes, mkEdges(100), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint grows roughly linearly with edges; each edge stores two
+	// copies, so 50 extra edges add well above one copy's bytes.
+	delta := s2.Footprint() - s1.Footprint()
+	if delta < 50*2*40 {
+		t.Errorf("bidirectional storage missing: delta=%d", delta)
+	}
+	// Reads only see out-edges.
+	rec, ok := s1.GetEdgeRecord(1, 0)
+	if ok && rec.Count() > 0 {
+		t.Error("in-edge mirrors leaked into reads")
+	}
+	rec, ok = s1.GetEdgeRecord(0, 0)
+	if !ok || rec.Count() != 50 {
+		t.Fatalf("out-edges = %v", rec)
+	}
+}
+
+func TestPropsCodecRoundTrip(t *testing.T) {
+	cases := []map[string]string{
+		nil,
+		{},
+		{"a": "1"},
+		{"z": "last", "a": "first", "m": "middle"},
+	}
+	for _, props := range cases {
+		blob := encodeProps(props)
+		got, rest := decodeProps(blob)
+		if len(rest) != 0 {
+			t.Fatalf("%v: trailing bytes", props)
+		}
+		want := map[string]string{}
+		for k, v := range props {
+			if v != "" {
+				want[k] = v
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %v -> %v", want, got)
+		}
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s, err := New(nil, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendNode(-1, nil); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := s.AppendEdge(graphapi.Edge{Src: 1, Dst: -2}); err == nil {
+		t.Error("negative dst accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"zipg/internal/cluster"
+	"zipg/internal/gen"
+	"zipg/internal/workloads"
+)
+
+// Figure 9 compares ZipG and Titan on a 10-server cluster. The paper's
+// cluster had 10 m3.2xlarge servers (300 GB total RAM vs the single
+// server's 244 GB). Reproducing multi-server CPU parallelism is not
+// possible on one core, so the harness uses an explicit attribution
+// model over the real partition layout:
+//
+//   - Capacity: the medium budget becomes 300/244 of the single-server
+//     budget (what lets Titan fit twitter in memory, §5.3).
+//   - Parallelism: every executed operation's measured service time is
+//     attributed to the server(s) that would execute it — the owner of
+//     the queried node for node-local queries, all servers (1/k of the
+//     time each, since the partition scans run in parallel) for
+//     get_node_ids on ZipG, and the index row's owner for Titan's
+//     global-index search. Distributed throughput is
+//     N / (max over servers of attributed busy time + simulated I/O),
+//     i.e. the cluster runs at the pace of its busiest server.
+//
+// This reproduces the paper's three findings mechanically: near-ideal
+// TAO scaling (uniform access spreads busy time), sub-linear LinkBench
+// scaling (Zipf skew concentrates busy time on the hot nodes' servers),
+// and Titan out-scaling ZipG on GS3 (index row on one server vs
+// all-server fan-out).
+const (
+	numDistServers  = 10
+	distMemoryRatio = MemoryRatio * 300.0 / 244.0
+)
+
+// distRun measures one workload on one system under the attribution
+// model. attr returns the servers an op touches: (-1, dur) means
+// "all servers, dur/k each".
+type distRun struct {
+	sys  *System
+	busy [numDistServers]time.Duration
+	ops  int
+}
+
+func (dr *distRun) attribute(owner int, dur time.Duration) {
+	if owner < 0 {
+		share := dur / numDistServers
+		for i := range dr.busy {
+			dr.busy[i] += share
+		}
+		return
+	}
+	dr.busy[owner] += dur
+}
+
+// throughput returns ops/sec at the busiest server's pace.
+func (dr *distRun) throughput() float64 {
+	var max time.Duration
+	for _, b := range dr.busy {
+		if b > max {
+			max = b
+		}
+	}
+	// Simulated I/O stalls are spread across servers (the medium is
+	// shared in this model).
+	max += dr.sys.Clock.Elapsed() / numDistServers
+	if max <= 0 {
+		max = time.Nanosecond
+	}
+	return float64(dr.ops) / max.Seconds()
+}
+
+// runDistMix executes TAO/LinkBench ops with attribution.
+func runDistMix(sys *System, d *gen.Dataset, mix workloads.MixConfig, nOps int) (float64, error) {
+	ops := workloads.GenerateOps(d, mix, nOps)
+	// Warm-up.
+	for i := 0; i < len(ops)/4 && i < 500; i++ {
+		workloads.Execute(sys.Store, ops[i])
+	}
+	sys.Med.ResetStats()
+	sys.Clock.Reset()
+	dr := &distRun{sys: sys, ops: len(ops)}
+	for _, op := range ops {
+		start := time.Now()
+		if _, err := workloads.Execute(sys.Store, op); err != nil {
+			return 0, err
+		}
+		dr.attribute(cluster.OwnerOf(op.ID, numDistServers), time.Since(start))
+	}
+	return dr.throughput(), nil
+}
+
+// runDistGS executes Graph Search ops with attribution. GS3 fans out on
+// ZipG (no global index) but stays on the index owner's server for the
+// Titan variants.
+func runDistGS(sys *System, d *gen.Dataset, nOps int) (float64, error) {
+	ops := workloads.GenerateGSOps(d, 901, nOps)
+	for i := 0; i < len(ops)/4 && i < 500; i++ {
+		workloads.ExecuteGS(sys.Store, ops[i], false)
+	}
+	sys.Med.ResetStats()
+	sys.Clock.Reset()
+	dr := &distRun{sys: sys, ops: len(ops)}
+	zipgLike := sys.Name == "zipg"
+	for _, op := range ops {
+		start := time.Now()
+		workloads.ExecuteGS(sys.Store, op, false)
+		dur := time.Since(start)
+		if op.Kind == workloads.KindGS3 {
+			if zipgLike {
+				dr.attribute(-1, dur) // all partitions scanned in parallel
+			} else {
+				// Titan: the index row lives on one server; attribute to a
+				// stable pseudo-owner derived from the queried value.
+				h := 0
+				for k, v := range op.P1 {
+					for _, c := range k + v {
+						h = h*31 + int(c)
+					}
+				}
+				if h < 0 {
+					h = -h
+				}
+				dr.attribute(h%numDistServers, dur)
+			}
+		} else {
+			dr.attribute(cluster.OwnerOf(op.ID, numDistServers), dur)
+		}
+	}
+	return dr.throughput(), nil
+}
+
+// Fig9 is the distributed-cluster experiment (paper Figure 9): TAO,
+// LinkBench and Graph Search on 10 servers, ZipG vs Titan (Neo4j has no
+// distributed implementation).
+func Fig9(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	budget := int64(float64(opts.BaseBytes) * distMemoryRatio)
+	r := &Result{
+		Title:   fmt.Sprintf("Figure 9: distributed cluster (%d servers, total budget %.1fx base)", numDistServers, distMemoryRatio),
+		Headers: []string{"workload", "dataset", "system", "distributed-KOps", "single-server-KOps", "scaling"},
+		Notes: []string{
+			"paper: titan fits twitter in cluster memory -> ~2x its single-server throughput",
+			"paper: zipg TAO throughput scales with core count (ideal); LinkBench sub-linear (hot-node servers bottleneck)",
+			"paper: titan's GS workload scales better than zipg's (GS3: global index vs all-server fan-out)",
+		},
+	}
+	type wl struct {
+		name     string
+		datasets []string
+		run      func(sys *System, d *gen.Dataset) (float64, error)
+		single   func(sys *System, d *gen.Dataset) (float64, error)
+	}
+	taoMix := workloads.MixConfig{Mix: workloads.TAOMix, AccessSkew: 0, Seed: 911}
+	lbMix := workloads.MixConfig{Mix: workloads.LinkBenchMix, AccessSkew: 1.4, Seed: 912}
+	mixSingle := func(mix workloads.MixConfig) func(sys *System, d *gen.Dataset) (float64, error) {
+		return func(sys *System, d *gen.Dataset) (float64, error) {
+			tputs, err := runMixOnSystem(sys, d, mix, nil, opts.Ops)
+			if err != nil {
+				return 0, err
+			}
+			return tputs[0], nil
+		}
+	}
+	workloadsList := []wl{
+		{"tao", []string{"twitter", "uk"},
+			func(sys *System, d *gen.Dataset) (float64, error) { return runDistMix(sys, d, taoMix, opts.Ops) },
+			mixSingle(taoMix)},
+		{"linkbench", []string{"lb-medium", "lb-large"},
+			func(sys *System, d *gen.Dataset) (float64, error) { return runDistMix(sys, d, lbMix, opts.Ops) },
+			mixSingle(lbMix)},
+		{"graphsearch", []string{"twitter", "uk"},
+			func(sys *System, d *gen.Dataset) (float64, error) { return runDistGS(sys, d, opts.Ops) },
+			func(sys *System, d *gen.Dataset) (float64, error) {
+				ops := workloads.GenerateGSOps(d, 913, opts.Ops)
+				return sys.Throughput(len(ops), func(i int) { workloads.ExecuteGS(sys.Store, ops[i], false) }), nil
+			}},
+	}
+	singleBudget := int64(float64(opts.BaseBytes) * MemoryRatio)
+	for _, w := range workloadsList {
+		for _, dsName := range w.datasets {
+			d, err := datasetByName(dsName, opts.BaseBytes)
+			if err != nil {
+				return nil, err
+			}
+			for _, sysName := range []string{"titan", "titan-c", "zipg"} {
+				if opts.Verbose {
+					fmt.Printf("  fig9: %s / %s / %s\n", w.name, dsName, sysName)
+				}
+				distSys, err := BuildSystem(sysName, d, budget)
+				if err != nil {
+					return nil, err
+				}
+				distT, err := w.run(distSys, d)
+				if err != nil {
+					return nil, err
+				}
+				singleSys, err := BuildSystem(sysName, d, singleBudget)
+				if err != nil {
+					return nil, err
+				}
+				singleT, err := w.single(singleSys, d)
+				if err != nil {
+					return nil, err
+				}
+				r.Rows = append(r.Rows, []string{
+					w.name, dsName, sysName, kops(distT), kops(singleT),
+					fmt.Sprintf("%.2fx", distT/singleT),
+				})
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"zipg"
+	"zipg/internal/gen"
+	"zipg/internal/workloads"
+)
+
+// fragmentationRun drives a LinkBench-style write-heavy stream over a
+// ZipG store with a small LogStore threshold (the paper used an 8 GB
+// threshold over 40 shards; scaled here) and snapshots per-node
+// fragmentation as queries execute (Appendix A).
+func fragmentationRun(opts Options, snapshots int) (*gen.Dataset, *zipg.Graph, [][]int, error) {
+	opts = opts.withDefaults()
+	d, err := datasetByName("lb-small", opts.BaseBytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{
+		NumShards:         4,
+		SamplingRate:      32,
+		LogStoreThreshold: opts.BaseBytes / 16, // small: force many rollovers
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ops := workloads.GenerateOps(d, workloads.MixConfig{
+		Mix:        workloads.LinkBenchMix,
+		AccessSkew: 1.4,
+		Seed:       1001,
+	}, opts.Ops*snapshots)
+
+	perSnapshot := make([][]int, 0, snapshots)
+	chunk := len(ops) / snapshots
+	for si := 0; si < snapshots; si++ {
+		for _, op := range ops[si*chunk : (si+1)*chunk] {
+			if _, err := workloads.Execute(g, op); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		// Snapshot: fragments per node, for every node in the graph.
+		counts := make([]int, 0, d.NumNodes())
+		for id := int64(0); id < int64(d.NumNodes()); id++ {
+			counts = append(counts, g.FragmentsOf(id))
+		}
+		perSnapshot = append(perSnapshot, counts)
+	}
+	return d, g, perSnapshot, nil
+}
+
+// Fig10 reports the CDF of per-node fragmentation after increasing
+// query volumes (paper Figure 10: >99% of nodes fragment across <10% of
+// shards even after billions of ops).
+func Fig10(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	const snapshots = 3
+	_, g, perSnapshot, err := fragmentationRun(opts, snapshots)
+	if err != nil {
+		return nil, err
+	}
+	totalFrags := g.Store().NumFragments()
+	r := &Result{
+		Title:   "Figure 10: CDF of #fragments a node's data spans (snapshots at increasing query counts)",
+		Headers: []string{"snapshot", "ops", "p50", "p90", "p99", "p99.9", "max", "total-fragments"},
+		Notes: []string{
+			"paper: for >99% of nodes the data spans <10% of shards; fragmentation grows with query volume",
+		},
+	}
+	for si, counts := range perSnapshot {
+		sort.Ints(counts)
+		pct := func(p float64) int { return counts[int(p*float64(len(counts)-1))] }
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(si + 1),
+			fmt.Sprint((si + 1) * opts.Ops),
+			fmt.Sprint(pct(0.50)), fmt.Sprint(pct(0.90)),
+			fmt.Sprint(pct(0.99)), fmt.Sprint(pct(0.999)),
+			fmt.Sprint(counts[len(counts)-1]),
+			fmt.Sprint(totalFrags),
+		})
+	}
+	return r, nil
+}
+
+// Fig11 reports average and maximum fragmentation versus executed
+// queries (paper Figure 11).
+func Fig11(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	const snapshots = 5
+	_, _, perSnapshot, err := fragmentationRun(opts, snapshots)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Title:   "Figure 11: fragmentation vs #queries (average and most-fragmented node)",
+		Headers: []string{"ops", "avg-fragments", "max-fragments"},
+		Notes:   []string{"paper: both average and maximum fragmentation grow as more queries execute"},
+	}
+	for si, counts := range perSnapshot {
+		sum, max := 0, 0
+		for _, c := range counts {
+			sum += c
+			if c > max {
+				max = c
+			}
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint((si + 1) * opts.Ops),
+			fmt.Sprintf("%.3f", float64(sum)/float64(len(counts))),
+			fmt.Sprint(max),
+		})
+	}
+	return r, nil
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	"zipg/internal/gen"
+	"zipg/internal/workloads"
+)
+
+// runMixOnSystem measures overall-mix throughput plus per-component
+// throughput for one system over one dataset.
+func runMixOnSystem(sys *System, d *gen.Dataset, mix workloads.MixConfig, components []workloads.OpKind, nOps int) ([]float64, error) {
+	out := make([]float64, 0, 1+len(components))
+	ops := workloads.GenerateOps(d, mix, nOps)
+	// All measurements run under silent cache pressure from the read-only
+	// part of the mix (see ThroughputUnderPressure): the paper measured
+	// after 15-minute warm-ups on servers whose caches held the whole
+	// production working set, which a short measurement window would not
+	// otherwise reproduce.
+	pressureOps := workloads.GenerateOps(d, workloads.MixConfig{
+		Mix: readOnly(mix.Mix), AccessSkew: mix.AccessSkew, Seed: mix.Seed + 7777,
+	}, nOps)
+	pressure := func(i int) {
+		workloads.Execute(sys.Store, pressureOps[i%len(pressureOps)])
+	}
+	var execErr error
+	tput := sys.ThroughputUnderPressure(len(ops), func(i int) {
+		if _, err := workloads.Execute(sys.Store, ops[i]); err != nil && execErr == nil {
+			execErr = err
+		}
+	}, pressure)
+	if execErr != nil {
+		return nil, fmt.Errorf("bench: %s mix: %w", sys.Name, execErr)
+	}
+	out = append(out, tput)
+	for _, kind := range components {
+		var compMix workloads.Frequencies
+		compMix[kind] = 1
+		compCfg := workloads.MixConfig{Mix: compMix, AccessSkew: mix.AccessSkew, Seed: mix.Seed + int64(kind) + 1}
+		compOps := workloads.GenerateOps(d, compCfg, nOps/2)
+		tput := sys.ThroughputUnderPressure(len(compOps), func(i int) {
+			if _, err := workloads.Execute(sys.Store, compOps[i]); err != nil && execErr == nil {
+				execErr = err
+			}
+		}, pressure)
+		if execErr != nil {
+			return nil, fmt.Errorf("bench: %s %v: %w", sys.Name, kind, execErr)
+		}
+		out = append(out, tput)
+	}
+	return out, nil
+}
+
+// readOnly keeps only the non-mutating operations of a mix.
+func readOnly(mix workloads.Frequencies) workloads.Frequencies {
+	var out workloads.Frequencies
+	for _, k := range []workloads.OpKind{
+		workloads.OpAssocRange, workloads.OpObjGet, workloads.OpAssocGet,
+		workloads.OpAssocCount, workloads.OpAssocTimeRange,
+	} {
+		out[k] = mix[k]
+	}
+	return out
+}
+
+// mixExperiment runs a workload mix over the given datasets and every
+// system, with the paper's memory budget.
+func mixExperiment(opts Options, title string, datasets []string, mix workloads.MixConfig, components []workloads.OpKind, notes []string) (*Result, error) {
+	opts = opts.withDefaults()
+	budget := int64(float64(opts.BaseBytes) * MemoryRatio)
+	headers := []string{"dataset", "system", "overall-KOps"}
+	for _, k := range components {
+		headers = append(headers, k.String()+"-KOps")
+	}
+	r := &Result{Title: title, Headers: headers, Notes: notes}
+	for _, dsName := range datasets {
+		d, err := datasetByName(dsName, opts.BaseBytes)
+		if err != nil {
+			return nil, err
+		}
+		for _, sysName := range SystemNames {
+			if opts.Verbose {
+				fmt.Printf("  building %s over %s...\n", sysName, dsName)
+			}
+			sys, err := BuildSystem(sysName, d, budget)
+			if err != nil {
+				return nil, err
+			}
+			tputs, err := runMixOnSystem(sys, d, mix, components, opts.Ops)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{dsName, sysName}
+			for _, t := range tputs {
+				row = append(row, kops(t))
+			}
+			r.Rows = append(r.Rows, row)
+		}
+	}
+	return r, nil
+}
+
+// Fig6 is the single-server TAO workload (paper Figure 6): overall mix
+// plus the top-5 component queries over the three real-world datasets.
+func Fig6(opts Options) (*Result, error) {
+	return mixExperiment(opts,
+		"Figure 6: single-server TAO throughput (overall + top-5 queries)",
+		[]string{"orkut", "twitter", "uk"},
+		workloads.MixConfig{Mix: workloads.TAOMix, AccessSkew: 0, Seed: 601},
+		[]workloads.OpKind{
+			workloads.OpAssocRange, workloads.OpObjGet, workloads.OpAssocGet,
+			workloads.OpAssocCount, workloads.OpAssocTimeRange,
+		},
+		[]string{
+			"paper: comparable on orkut (all fit memory; zipg slightly ahead on random access)",
+			"paper: neo4j collapses on twitter (pointer chasing off SSD); titan holds (working set cached)",
+			"paper: on uk only zipg keeps most queries in memory -> order-of-magnitude lead",
+		})
+}
+
+// Fig7 is the single-server LinkBench workload (paper Figure 7):
+// write-heavy mix with skewed access over the LinkBench datasets.
+func Fig7(opts Options) (*Result, error) {
+	return mixExperiment(opts,
+		"Figure 7: single-server LinkBench throughput (overall + top-5 queries)",
+		[]string{"lb-small", "lb-medium", "lb-large"},
+		workloads.MixConfig{Mix: workloads.LinkBenchMix, AccessSkew: 1.4, Seed: 701},
+		[]workloads.OpKind{
+			workloads.OpAssocRange, workloads.OpObjGet, workloads.OpAssocAdd,
+			workloads.OpAssocUpdate, workloads.OpObjUpdate,
+		},
+		[]string{
+			"paper: absolute throughput lower than TAO for all systems (writes + skewed large neighborhoods)",
+			"paper: neo4j writes bottleneck on multi-location updates; titan writes ok (LSM) but range reads poor",
+			"paper: zipg keeps write throughput high via the LogStore + fanned updates",
+		})
+}
+
+// Fig8 is the single-server Graph Search workload (paper Figure 8):
+// equal-proportion GS1-GS5 over the real-world datasets.
+func Fig8(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	budget := int64(float64(opts.BaseBytes) * MemoryRatio)
+	headers := []string{"dataset", "system", "overall-KOps", "GS1-KOps", "GS2-KOps", "GS3-KOps", "GS4-KOps", "GS5-KOps"}
+	r := &Result{
+		Title:   "Figure 8: single-server Graph Search throughput (overall + GS1-GS5)",
+		Headers: headers,
+		Notes: []string{
+			"paper: neo4j-tuned beats zipg ~1.23x on orkut (global index, all in memory) — zipg's compressed-search overhead",
+			"paper: as data outgrows memory, zipg takes a ~3x lead; GS3 is zipg's worst case in memory (touches all partitions)",
+		},
+	}
+	for _, dsName := range []string{"orkut", "twitter", "uk"} {
+		d, err := datasetByName(dsName, opts.BaseBytes)
+		if err != nil {
+			return nil, err
+		}
+		allOps := workloads.GenerateGSOps(d, 801, opts.Ops)
+		for _, sysName := range SystemNames {
+			if opts.Verbose {
+				fmt.Printf("  building %s over %s...\n", sysName, dsName)
+			}
+			sys, err := BuildSystem(sysName, d, budget)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{dsName, sysName}
+			tput := sys.Throughput(len(allOps), func(i int) {
+				workloads.ExecuteGS(sys.Store, allOps[i], false)
+			})
+			row = append(row, kops(tput))
+			pressure := func(i int) {
+				workloads.ExecuteGS(sys.Store, allOps[i%len(allOps)], false)
+			}
+			for kind := workloads.KindGS1; kind <= workloads.KindGS5; kind++ {
+				ops := workloads.FilterGSKind(allOps, kind)
+				tput := sys.ThroughputUnderPressure(len(ops), func(i int) {
+					workloads.ExecuteGS(sys.Store, ops[i], false)
+				}, pressure)
+				row = append(row, kops(tput))
+			}
+			r.Rows = append(r.Rows, row)
+		}
+	}
+	return r, nil
+}

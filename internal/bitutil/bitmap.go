@@ -1,0 +1,132 @@
+package bitutil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is a plain bit set over [0, n) with O(1) rank via per-word
+// precomputed prefix counts and O(log n) select. It backs the
+// value-sampled suffix array in the succinct store ("is row i sampled,
+// and what is its sample rank?") and the deletion bitmaps in ZipG shards.
+type Bitmap struct {
+	words []uint64
+	// rank[i] = number of set bits in words[0:i].
+	rank []uint32
+	n    int
+	ones int
+}
+
+// NewBitmap returns an empty bitmap over [0, n).
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Set sets bit i. Set must not be called after FinishRank.
+func (b *Bitmap) Set(i int) {
+	if b.rank != nil {
+		panic("bitutil: Set after FinishRank")
+	}
+	b.words[i/64] |= 1 << uint(i%64)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Len returns the size of the domain.
+func (b *Bitmap) Len() int { return b.n }
+
+// FinishRank freezes the bitmap and builds the rank index.
+func (b *Bitmap) FinishRank() {
+	b.rank = make([]uint32, len(b.words)+1)
+	total := uint32(0)
+	for i, w := range b.words {
+		b.rank[i] = total
+		total += uint32(popcount(w))
+	}
+	b.rank[len(b.words)] = total
+	b.ones = int(total)
+}
+
+// Ones returns the number of set bits. Valid after FinishRank.
+func (b *Bitmap) Ones() int { return b.ones }
+
+// Rank1 returns the number of set bits strictly before position i.
+// Requires FinishRank.
+func (b *Bitmap) Rank1(i int) int {
+	if b.rank == nil {
+		panic("bitutil: Rank1 before FinishRank")
+	}
+	word := i / 64
+	r := int(b.rank[word])
+	if rem := uint(i % 64); rem != 0 {
+		r += popcount(b.words[word] & ((1 << rem) - 1))
+	}
+	return r
+}
+
+// Select1 returns the position of the k-th (0-based) set bit.
+// Requires FinishRank.
+func (b *Bitmap) Select1(k int) int {
+	if k < 0 || k >= b.ones {
+		panic(fmt.Sprintf("bitutil: select %d out of range [0,%d)", k, b.ones))
+	}
+	// Binary search on the per-word rank prefix, then scan inside the word.
+	lo, hi := 0, len(b.words)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(b.rank[mid+1]) > k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	w := b.words[lo]
+	need := k - int(b.rank[lo])
+	for bit := 0; bit < 64; bit++ {
+		if w&(1<<uint(bit)) != 0 {
+			if need == 0 {
+				return lo*64 + bit
+			}
+			need--
+		}
+	}
+	panic("bitutil: select internal error")
+}
+
+// SizeBytes returns the in-memory footprint including the rank index.
+func (b *Bitmap) SizeBytes() int { return len(b.words)*8 + len(b.rank)*4 }
+
+func popcount(w uint64) int { return bits.OnesCount64(w) }
+
+// AppendBinary serializes the bitmap (rank index is rebuilt on decode).
+func (b *Bitmap) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.n))
+	for _, w := range b.words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeBitmap reads a bitmap serialized with AppendBinary, rebuilds its
+// rank index, and returns it with the number of bytes consumed.
+func DecodeBitmap(buf []byte) (*Bitmap, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, fmt.Errorf("bitutil: truncated bitmap header")
+	}
+	n := int(binary.LittleEndian.Uint64(buf))
+	nwords := (n + 63) / 64
+	need := 8 + nwords*8
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("bitutil: truncated bitmap payload")
+	}
+	b := &Bitmap{words: make([]uint64, nwords), n: n}
+	for i := range b.words {
+		b.words[i] = binary.LittleEndian.Uint64(buf[8+i*8:])
+	}
+	b.FinishRank()
+	return b, need, nil
+}

@@ -1,0 +1,213 @@
+package bitutil
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// monotoneBlock is the number of elements per anchor block in a
+// MonotoneVector. Smaller blocks mean faster random access (fewer deltas
+// to sum) and — because each block picks its own delta width — better
+// isolation of Ψ's delta=1 runs from occasional large deltas, which is
+// where the structure's compression comes from. 16 balances per-block
+// overhead (~3 bits/element) against run purity.
+const monotoneBlock = 16
+
+// MonotoneVector stores a non-decreasing sequence of integers using block
+// anchors plus bit-packed per-block deltas, where each block chooses its
+// own delta width. Within each character bucket the succinct store's Ψ
+// array is strictly increasing and — for compressible text — dominated by
+// tiny deltas, so per-block widths are where the compression of the whole
+// structure comes from.
+//
+// Access to element i costs O(monotoneBlock) word operations.
+type MonotoneVector struct {
+	n       int
+	anchors *PackedVector // absolute value at the start of each block
+	widths  []byte        // delta bit width per block (0 = all deltas zero)
+	bitOff  *PackedVector // starting bit of each block's deltas in bits
+	bits    []uint64      // concatenated delta payload
+}
+
+// NewMonotoneVector compresses vals, which must be non-decreasing.
+func NewMonotoneVector(vals []uint64) *MonotoneVector {
+	n := len(vals)
+	nblocks := (n + monotoneBlock - 1) / monotoneBlock
+	anchorVals := make([]uint64, nblocks)
+	widths := make([]byte, nblocks)
+	offs := make([]uint64, nblocks)
+
+	// First pass: anchors and per-block max delta.
+	for b := 0; b < nblocks; b++ {
+		start := b * monotoneBlock
+		end := start + monotoneBlock
+		if end > n {
+			end = n
+		}
+		anchorVals[b] = vals[start]
+		var maxDelta uint64
+		for i := start + 1; i < end; i++ {
+			if vals[i] < vals[i-1] {
+				panic(fmt.Sprintf("bitutil: sequence not monotone at %d: %d < %d", i, vals[i], vals[i-1]))
+			}
+			if d := vals[i] - vals[i-1]; d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta > 0 {
+			widths[b] = byte(WidthFor(maxDelta))
+		}
+	}
+
+	// Lay out the bit stream.
+	var totalBits uint64
+	for b := 0; b < nblocks; b++ {
+		offs[b] = totalBits
+		start := b * monotoneBlock
+		end := start + monotoneBlock
+		if end > n {
+			end = n
+		}
+		totalBits += uint64(widths[b]) * uint64(end-start-1)
+	}
+	bits := make([]uint64, (totalBits+63)/64)
+	for b := 0; b < nblocks; b++ {
+		if widths[b] == 0 {
+			continue
+		}
+		start := b * monotoneBlock
+		end := start + monotoneBlock
+		if end > n {
+			end = n
+		}
+		pos := offs[b]
+		w := uint(widths[b])
+		for i := start + 1; i < end; i++ {
+			writeBits(bits, pos, w, vals[i]-vals[i-1])
+			pos += uint64(w)
+		}
+	}
+
+	return &MonotoneVector{
+		n:       n,
+		anchors: PackSlice(anchorVals),
+		widths:  widths,
+		bitOff:  PackSlice(offs),
+		bits:    bits,
+	}
+}
+
+// Len returns the number of elements.
+func (mv *MonotoneVector) Len() int { return mv.n }
+
+// Get returns element i by summing deltas from the block anchor.
+func (mv *MonotoneVector) Get(i int) uint64 {
+	block := i / monotoneBlock
+	v := mv.anchors.Get(block)
+	w := uint(mv.widths[block])
+	if w == 0 {
+		return v
+	}
+	pos := mv.bitOff.Get(block)
+	for k := block*monotoneBlock + 1; k <= i; k++ {
+		v += readBits(mv.bits, pos, w)
+		pos += uint64(w)
+	}
+	return v
+}
+
+// SearchGE returns the smallest index i in [lo, hi) with Get(i) >= target,
+// or hi if none. The sequence is non-decreasing by construction.
+func (mv *MonotoneVector) SearchGE(lo, hi int, target uint64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if mv.Get(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// SizeBytes returns the in-memory footprint of the payload.
+func (mv *MonotoneVector) SizeBytes() int {
+	return mv.anchors.SizeBytes() + len(mv.widths) + mv.bitOff.SizeBytes() + len(mv.bits)*8
+}
+
+// AppendBinary serializes the vector.
+func (mv *MonotoneVector) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(mv.n))
+	buf = mv.anchors.AppendBinary(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(mv.widths)))
+	buf = append(buf, mv.widths...)
+	buf = mv.bitOff.AppendBinary(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(mv.bits)))
+	for _, w := range mv.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeMonotoneVector reads a vector serialized with AppendBinary and
+// returns it with the number of bytes consumed.
+func DecodeMonotoneVector(buf []byte) (*MonotoneVector, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, fmt.Errorf("bitutil: truncated monotone vector")
+	}
+	mv := &MonotoneVector{n: int(binary.LittleEndian.Uint64(buf))}
+	pos := 8
+	var err error
+	var k int
+	if mv.anchors, k, err = DecodePackedVector(buf[pos:]); err != nil {
+		return nil, 0, err
+	}
+	pos += k
+	if len(buf) < pos+8 {
+		return nil, 0, fmt.Errorf("bitutil: truncated monotone widths")
+	}
+	nw := int(binary.LittleEndian.Uint64(buf[pos:]))
+	pos += 8
+	if len(buf) < pos+nw {
+		return nil, 0, fmt.Errorf("bitutil: truncated monotone widths payload")
+	}
+	mv.widths = append([]byte(nil), buf[pos:pos+nw]...)
+	pos += nw
+	if mv.bitOff, k, err = DecodePackedVector(buf[pos:]); err != nil {
+		return nil, 0, err
+	}
+	pos += k
+	if len(buf) < pos+8 {
+		return nil, 0, fmt.Errorf("bitutil: truncated monotone bits header")
+	}
+	nb := int(binary.LittleEndian.Uint64(buf[pos:]))
+	pos += 8
+	if len(buf) < pos+nb*8 {
+		return nil, 0, fmt.Errorf("bitutil: truncated monotone bits payload")
+	}
+	mv.bits = make([]uint64, nb)
+	for i := range mv.bits {
+		mv.bits[i] = binary.LittleEndian.Uint64(buf[pos+i*8:])
+	}
+	pos += nb * 8
+	return mv, pos, nil
+}
+
+// writeBits stores the low w bits of v at bit position pos.
+func writeBits(words []uint64, pos uint64, w uint, v uint64) {
+	word, off := pos/64, uint(pos%64)
+	words[word] |= v << off
+	if off+w > 64 {
+		words[word+1] |= v >> (64 - off)
+	}
+}
+
+// readBits reads w bits at bit position pos.
+func readBits(words []uint64, pos uint64, w uint) uint64 {
+	word, off := pos/64, uint(pos%64)
+	v := words[word] >> off
+	if off+w > 64 {
+		v |= words[word+1] << (64 - off)
+	}
+	return v & (^uint64(0) >> (64 - w))
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"zipg/internal/graphapi"
+	"zipg/internal/rpc"
+)
+
+// Replication (§4.1, "Fault Tolerance and Load Balancing"): an
+// application can specify a number of replicas per partition; every
+// replica holds the same partition data, reads are load-balanced evenly
+// across replicas (with failover to the next replica when one is down),
+// and writes go to every replica of the owning partition.
+
+// ReplicatedClient is a cluster client aware of the replica layout:
+// addrs[p][r] is replica r of partition p.
+type ReplicatedClient struct {
+	addrs [][]string
+	rr    atomic.Uint64 // read round-robin counter
+
+	mu    sync.Mutex
+	conns map[string]*rpc.Client
+}
+
+// Compile-time check.
+var _ graphapi.Store = (*ReplicatedClient)(nil)
+
+// NewReplicatedClient connects to a replicated cluster. addrs[p] lists
+// the replicas of partition p; every partition must have at least one.
+func NewReplicatedClient(addrs [][]string) (*ReplicatedClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no partitions")
+	}
+	for p, reps := range addrs {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("cluster: partition %d has no replicas", p)
+		}
+	}
+	return &ReplicatedClient{addrs: addrs, conns: make(map[string]*rpc.Client)}, nil
+}
+
+// Close tears down every connection.
+func (c *ReplicatedClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = make(map[string]*rpc.Client)
+}
+
+func (c *ReplicatedClient) dial(addr string) (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[addr]; ok {
+		return conn, nil
+	}
+	conn, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[addr] = conn
+	return conn, nil
+}
+
+// drop forgets a (likely dead) connection so the next call redials.
+func (c *ReplicatedClient) drop(addr string) {
+	c.mu.Lock()
+	if conn, ok := c.conns[addr]; ok {
+		conn.Close()
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+}
+
+// callRead invokes a method on one replica of partition p, starting at
+// the round-robin position and failing over to the remaining replicas.
+func (c *ReplicatedClient) callRead(p int, method string, args, reply any) error {
+	reps := c.addrs[p]
+	start := int(c.rr.Add(1)) % len(reps)
+	var lastErr error
+	for k := 0; k < len(reps); k++ {
+		addr := reps[(start+k)%len(reps)]
+		conn, err := c.dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := conn.Call(method, args, reply); err != nil {
+			lastErr = err
+			c.drop(addr)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: partition %d unavailable: %w", p, lastErr)
+}
+
+// callWrite invokes a method on every replica of partition p (writes
+// must reach all copies).
+func (c *ReplicatedClient) callWrite(p int, method string, args, reply any) error {
+	for _, addr := range c.addrs[p] {
+		conn, err := c.dial(addr)
+		if err != nil {
+			return fmt.Errorf("cluster: replica %s: %w", addr, err)
+		}
+		if err := conn.Call(method, args, reply); err != nil {
+			return fmt.Errorf("cluster: replica %s: %w", addr, err)
+		}
+	}
+	return nil
+}
+
+func (c *ReplicatedClient) ownerOf(id graphapi.NodeID) int {
+	return OwnerOf(id, len(c.addrs))
+}
+
+// GetNodeProperty implements graphapi.Store.
+func (c *ReplicatedClient) GetNodeProperty(id graphapi.NodeID, propertyIDs []string) ([]string, bool) {
+	var reply nodePropsReply
+	if err := c.callRead(c.ownerOf(id), "NodeProps", nodePropsArgs{ID: id, PIDs: propertyIDs}, &reply); err != nil {
+		return nil, false
+	}
+	if !reply.OK {
+		return nil, false
+	}
+	if len(propertyIDs) == 0 {
+		out := make([]string, 0, len(reply.Vals))
+		for _, v := range reply.Vals {
+			if v != "" {
+				out = append(out, v)
+			}
+		}
+		return out, true
+	}
+	return reply.Vals, true
+}
+
+// GetNodeIDs implements graphapi.Store: one replica per partition.
+func (c *ReplicatedClient) GetNodeIDs(props map[string]string) []graphapi.NodeID {
+	var mu sync.Mutex
+	var out []graphapi.NodeID
+	var wg sync.WaitGroup
+	for p := range c.addrs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var reply idsReply
+			if err := c.callRead(p, "FindNodes", propsArgs{Props: props}, &reply); err != nil {
+				return
+			}
+			mu.Lock()
+			out = append(out, reply.IDs...)
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	workSortIDs(out)
+	return out
+}
+
+// GetNeighborIDs implements graphapi.Store.
+func (c *ReplicatedClient) GetNeighborIDs(id graphapi.NodeID, etype graphapi.EdgeType, props map[string]string) []graphapi.NodeID {
+	var reply idsReply
+	if err := c.callRead(c.ownerOf(id), "Neighbors", neighborsArgs{ID: id, EType: etype, Props: props}, &reply); err != nil {
+		return nil
+	}
+	return reply.IDs
+}
+
+// replicatedRecord is the replica-aware EdgeRecord handle.
+type replicatedRecord struct {
+	c     *ReplicatedClient
+	id    graphapi.NodeID
+	etype graphapi.EdgeType
+	count int
+}
+
+func (r *replicatedRecord) Count() int { return r.count }
+
+func (r *replicatedRecord) Range(tLo, tHi int64) (int, int) {
+	tLo, tHi = graphapi.TimeBounds(tLo, tHi)
+	var reply rangeReply
+	if err := r.c.callRead(r.c.ownerOf(r.id), "RecRange", recRangeArgs{ID: r.id, EType: r.etype, Lo: tLo, Hi: tHi}, &reply); err != nil {
+		return 0, 0
+	}
+	return reply.Beg, reply.End
+}
+
+func (r *replicatedRecord) Data(timeOrder int) (graphapi.EdgeData, error) {
+	var reply edgeDataReply
+	if err := r.c.callRead(r.c.ownerOf(r.id), "RecData", recDataArgs{ID: r.id, EType: r.etype, Order: timeOrder}, &reply); err != nil {
+		return graphapi.EdgeData{}, err
+	}
+	return graphapi.EdgeData{Dst: reply.Dst, Timestamp: reply.Ts, Props: reply.Props}, nil
+}
+
+func (r *replicatedRecord) Destinations() []graphapi.NodeID {
+	var reply idsReply
+	if err := r.c.callRead(r.c.ownerOf(r.id), "RecDsts", recArgs{ID: r.id, EType: r.etype}, &reply); err != nil {
+		return nil
+	}
+	return reply.IDs
+}
+
+// GetEdgeRecord implements graphapi.Store.
+func (c *ReplicatedClient) GetEdgeRecord(id graphapi.NodeID, etype graphapi.EdgeType) (graphapi.EdgeRecord, bool) {
+	var reply recMetaReply
+	if err := c.callRead(c.ownerOf(id), "RecMeta", recArgs{ID: id, EType: etype}, &reply); err != nil || !reply.OK {
+		return nil, false
+	}
+	return &replicatedRecord{c: c, id: id, etype: etype, count: reply.Count}, true
+}
+
+// GetEdgeRecords implements graphapi.Store.
+func (c *ReplicatedClient) GetEdgeRecords(id graphapi.NodeID) []graphapi.EdgeRecord {
+	var reply recsMetaReply
+	if err := c.callRead(c.ownerOf(id), "RecsMeta", recArgs{ID: id}, &reply); err != nil {
+		return nil
+	}
+	out := make([]graphapi.EdgeRecord, len(reply.Types))
+	for i, t := range reply.Types {
+		out[i] = &replicatedRecord{c: c, id: id, etype: t, count: reply.Counts[i]}
+	}
+	return out
+}
+
+// AppendNode implements graphapi.Store (written to every replica).
+func (c *ReplicatedClient) AppendNode(id graphapi.NodeID, props map[string]string) error {
+	return c.callWrite(c.ownerOf(id), "AppendNode", appendNodeArgs{ID: id, Props: props}, nil)
+}
+
+// AppendEdge implements graphapi.Store.
+func (c *ReplicatedClient) AppendEdge(e graphapi.Edge) error {
+	return c.callWrite(c.ownerOf(e.Src), "AppendEdge", e, nil)
+}
+
+// DeleteNode implements graphapi.Store.
+func (c *ReplicatedClient) DeleteNode(id graphapi.NodeID) error {
+	return c.callWrite(c.ownerOf(id), "DeleteNode", id, nil)
+}
+
+// DeleteEdges implements graphapi.Store.
+func (c *ReplicatedClient) DeleteEdges(src graphapi.NodeID, etype graphapi.EdgeType, dst graphapi.NodeID) (int, error) {
+	var n int
+	err := c.callWrite(c.ownerOf(src), "DeleteEdges", deleteEdgesArgs{Src: src, Type: etype, Dst: dst}, &n)
+	return n, err
+}
+
+func workSortIDs(ids []graphapi.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"zipg/internal/layout"
+	"zipg/internal/refgraph"
+)
+
+func TestReplicatedClusterReadsAndWrites(t *testing.T) {
+	nodes, edges, ns, es := testGraph(t, 24, 100)
+	c, err := LaunchWithReplicas(nodes, edges, ns, es, LaunchConfig{
+		NumServers:      2,
+		ShardsPerServer: 2,
+		SamplingRate:    8,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	client, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	ref := refgraph.New(nodes, edges)
+
+	// Reads agree with the reference regardless of which replica serves
+	// them (the round-robin cycles through all of them over 30 queries).
+	for id := int64(0); id < 24; id++ {
+		want, wantOK := ref.GetNodeProperty(id, nil)
+		got, gotOK := client.GetNodeProperty(id, nil)
+		if gotOK != wantOK || !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d: %v,%v want %v,%v", id, got, gotOK, want, wantOK)
+		}
+		if g, w := client.GetNeighborIDs(id, 0, nil), ref.GetNeighborIDs(id, 0, nil); !reflect.DeepEqual(g, w) {
+			t.Fatalf("neighbors(%d): %v want %v", id, g, w)
+		}
+	}
+	if g, w := client.GetNodeIDs(map[string]string{"city": "Ithaca"}), ref.GetNodeIDs(map[string]string{"city": "Ithaca"}); !reflect.DeepEqual(g, w) {
+		t.Fatalf("GetNodeIDs: %v want %v", g, w)
+	}
+
+	// A write reaches every replica: after it, repeated reads (which
+	// round-robin across replicas) all see it.
+	if err := client.AppendNode(500, map[string]string{"city": "Ithaca", "name": "new"}); err != nil {
+		t.Fatal(err)
+	}
+	ref.AppendNode(500, map[string]string{"city": "Ithaca", "name": "new"})
+	for trial := 0; trial < 6; trial++ { // 2x replicas reads
+		if _, ok := client.GetNodeProperty(500, nil); !ok {
+			t.Fatalf("replica missed the write (trial %d)", trial)
+		}
+	}
+	// Edge records via replicas.
+	if err := client.AppendEdge(layout.Edge{Src: 500, Dst: 1, Type: 0, Timestamp: 9}); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 6; trial++ {
+		rec, ok := client.GetEdgeRecord(500, 0)
+		if !ok || rec.Count() != 1 {
+			t.Fatalf("edge write missed on some replica (trial %d)", trial)
+		}
+		if d, err := rec.Data(0); err != nil || d.Dst != 1 {
+			t.Fatalf("edge data: %v %v", d, err)
+		}
+	}
+	if n, err := client.DeleteEdges(500, 0, 1); err != nil || n != 1 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+}
+
+func TestReplicatedFailover(t *testing.T) {
+	nodes, edges, ns, es := testGraph(t, 12, 40)
+	c, err := LaunchWithReplicas(nodes, edges, ns, es, LaunchConfig{
+		NumServers:      2,
+		ShardsPerServer: 1,
+		SamplingRate:    8,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	client, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	// Kill one replica of each partition; reads must still succeed via
+	// failover to the surviving replicas.
+	c.StopReplica(0, 1)
+	c.StopReplica(1, 1)
+	ref := refgraph.New(nodes, edges)
+	for id := int64(0); id < 12; id++ {
+		want, wantOK := ref.GetNodeProperty(id, nil)
+		got, gotOK := client.GetNodeProperty(id, nil)
+		if gotOK != wantOK || !reflect.DeepEqual(got, want) {
+			t.Fatalf("after failover, node %d: %v,%v want %v,%v", id, got, gotOK, want, wantOK)
+		}
+	}
+	// Writes to a partition with a dead replica fail loudly (no silent
+	// divergence between copies).
+	if err := client.AppendNode(600, map[string]string{"city": "Ithaca"}); err == nil {
+		t.Fatal("write with a dead replica should fail")
+	}
+}

@@ -1,0 +1,414 @@
+// Package cluster implements distributed ZipG (§4.1): graph data is
+// hash-partitioned across servers; each server hosts its shards plus an
+// aggregator that executes queries locally and ships subqueries to the
+// servers owning remote data (function shipping, Figure 4). Queries that
+// need one node's data go to its owner; neighbor queries with property
+// filters ship batched property checks to the neighbors' owners;
+// get_node_ids fans out to every server.
+//
+// Servers speak the framed RPC of package rpc over TCP; the benchmark
+// harness launches them in-process on loopback, which preserves the
+// communication structure (round trips and fan-out counts) the paper's
+// distributed experiments measure.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"zipg/internal/graphapi"
+	"zipg/internal/layout"
+	"zipg/internal/memsim"
+	"zipg/internal/rpc"
+	"zipg/internal/store"
+)
+
+// OwnerOf returns the server owning a node's data: the same
+// hash-partitioning the single-machine store uses for shards, applied at
+// server granularity.
+func OwnerOf(id graphapi.NodeID, numServers int) int {
+	h := fnv.New32a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(id) >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(numServers))
+}
+
+// --- wire types ---
+
+type nodePropsArgs struct {
+	ID   graphapi.NodeID
+	PIDs []string
+}
+
+type nodePropsReply struct {
+	Vals []string
+	OK   bool
+}
+
+type matchBatchArgs struct {
+	IDs   []graphapi.NodeID
+	Props map[string]string
+}
+
+type propsArgs struct {
+	Props map[string]string
+}
+
+type neighborsArgs struct {
+	ID    graphapi.NodeID
+	EType graphapi.EdgeType
+	Props map[string]string
+}
+
+type recArgs struct {
+	ID    graphapi.NodeID
+	EType graphapi.EdgeType
+}
+
+type recMetaReply struct {
+	Count int
+	OK    bool
+}
+
+type recsMetaReply struct {
+	Types  []graphapi.EdgeType
+	Counts []int
+}
+
+type recRangeArgs struct {
+	ID     graphapi.NodeID
+	EType  graphapi.EdgeType
+	Lo, Hi int64
+}
+
+type rangeReply struct {
+	Beg, End int
+}
+
+type recDataArgs struct {
+	ID    graphapi.NodeID
+	EType graphapi.EdgeType
+	Order int
+}
+
+type edgeDataReply struct {
+	Dst   graphapi.NodeID
+	Ts    int64
+	Props map[string]string
+}
+
+type appendNodeArgs struct {
+	ID    graphapi.NodeID
+	Props map[string]string
+}
+
+type deleteEdgesArgs struct {
+	Src  graphapi.NodeID
+	Type graphapi.EdgeType
+	Dst  graphapi.NodeID
+}
+
+type idsReply struct {
+	IDs []graphapi.NodeID
+}
+
+// ServerConfig parameterizes one cluster server.
+type ServerConfig struct {
+	// ID is this server's index in [0, NumServers).
+	ID int
+	// NumServers is the cluster size.
+	NumServers int
+	// ShardsPerServer is the store's shard count (paper: one per core).
+	ShardsPerServer int
+	// SamplingRate is Succinct's α.
+	SamplingRate int
+	// Medium simulates this server's storage (nil = unlimited).
+	Medium *memsim.Medium
+	// LogStoreThreshold triggers local LogStore rollover.
+	LogStoreThreshold int64
+}
+
+// Server is one ZipG cluster server: a partition store plus the
+// aggregator endpoint.
+type Server struct {
+	cfg   ServerConfig
+	store *store.Store
+	rpc   *rpc.Server
+	addr  string
+
+	peerMu sync.Mutex
+	peers  []*rpc.Client // lazily dialed, indexed by server ID
+	addrs  []string
+}
+
+// NewServer builds a server over its partition of the graph. nodes and
+// edges must already be filtered to this server's partition (every
+// node ID n with OwnerOf(n) == cfg.ID, and every edge whose Src it
+// owns).
+func NewServer(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layout.PropertySchema, cfg ServerConfig) (*Server, error) {
+	st, err := store.New(nodes, edges, nodeSchema, edgeSchema, store.Config{
+		NumShards:         cfg.ShardsPerServer,
+		SamplingRate:      cfg.SamplingRate,
+		Medium:            cfg.Medium,
+		LogStoreThreshold: cfg.LogStoreThreshold,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: server %d: %w", cfg.ID, err)
+	}
+	s := &Server{cfg: cfg, store: st, rpc: rpc.NewServer()}
+	s.registerHandlers()
+	s.registerMultiLevel()
+	return s, nil
+}
+
+// Listen binds the server and returns its address.
+func (s *Server) Listen(addr string) (string, error) {
+	bound, err := s.rpc.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.addr = bound
+	return bound, nil
+}
+
+// ConnectPeers supplies every server's address (including this one's)
+// so the aggregator can ship subqueries.
+func (s *Server) ConnectPeers(addrs []string) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	s.addrs = append([]string(nil), addrs...)
+	s.peers = make([]*rpc.Client, len(addrs))
+}
+
+// peer returns a connection to server id, dialing lazily.
+func (s *Server) peer(id int) (*rpc.Client, error) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if s.peers[id] == nil {
+		c, err := rpc.Dial(s.addrs[id])
+		if err != nil {
+			return nil, err
+		}
+		s.peers[id] = c
+	}
+	return s.peers[id], nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() {
+	s.rpc.Close()
+	s.peerMu.Lock()
+	for _, p := range s.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	s.peerMu.Unlock()
+}
+
+// Store exposes the underlying partition store (for tests and stats).
+func (s *Server) Store() *store.Store { return s.store }
+
+func (s *Server) registerHandlers() {
+	s.rpc.Handle("NodeProps", func(blob []byte) (any, error) {
+		var a nodePropsArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		vals, ok := s.store.GetNodeProps(a.ID, a.PIDs)
+		return nodePropsReply{Vals: vals, OK: ok}, nil
+	})
+	s.rpc.Handle("MatchBatch", func(blob []byte) (any, error) {
+		var a matchBatchArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		out := make([]bool, len(a.IDs))
+		for i, id := range a.IDs {
+			out[i] = s.store.HasNode(id) && s.store.NodeMatches(id, a.Props)
+		}
+		return out, nil
+	})
+	s.rpc.Handle("FindNodes", func(blob []byte) (any, error) {
+		var a propsArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		return idsReply{IDs: s.store.FindNodes(a.Props)}, nil
+	})
+	s.rpc.Handle("Neighbors", func(blob []byte) (any, error) {
+		var a neighborsArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		ids, err := s.neighbors(a.ID, a.EType, a.Props)
+		return idsReply{IDs: ids}, err
+	})
+	s.rpc.Handle("RecMeta", func(blob []byte) (any, error) {
+		var a recArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		rec, ok := s.store.GetEdgeRecord(a.ID, a.EType)
+		if !ok {
+			return recMetaReply{}, nil
+		}
+		return recMetaReply{Count: rec.Count(), OK: true}, nil
+	})
+	s.rpc.Handle("RecsMeta", func(blob []byte) (any, error) {
+		var a recArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		var reply recsMetaReply
+		for _, rec := range s.store.GetEdgeRecords(a.ID) {
+			reply.Types = append(reply.Types, rec.Type)
+			reply.Counts = append(reply.Counts, rec.Count())
+		}
+		return reply, nil
+	})
+	s.rpc.Handle("RecRange", func(blob []byte) (any, error) {
+		var a recRangeArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		rec, ok := s.store.GetEdgeRecord(a.ID, a.EType)
+		if !ok {
+			return rangeReply{}, nil
+		}
+		beg, end := rec.GetEdgeRange(a.Lo, a.Hi)
+		return rangeReply{Beg: beg, End: end}, nil
+	})
+	s.rpc.Handle("RecData", func(blob []byte) (any, error) {
+		var a recDataArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		rec, ok := s.store.GetEdgeRecord(a.ID, a.EType)
+		if !ok {
+			return nil, fmt.Errorf("cluster: no record (%d,%d)", a.ID, a.EType)
+		}
+		d, err := rec.GetEdgeData(a.Order)
+		if err != nil {
+			return nil, err
+		}
+		return edgeDataReply{Dst: d.Dst, Ts: d.Timestamp, Props: d.Props}, nil
+	})
+	s.rpc.Handle("RecDsts", func(blob []byte) (any, error) {
+		var a recArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		rec, ok := s.store.GetEdgeRecord(a.ID, a.EType)
+		if !ok {
+			return idsReply{}, nil
+		}
+		return idsReply{IDs: rec.Destinations()}, nil
+	})
+	s.rpc.Handle("AppendNode", func(blob []byte) (any, error) {
+		var a appendNodeArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		return true, s.store.AppendNode(a.ID, a.Props)
+	})
+	s.rpc.Handle("AppendEdge", func(blob []byte) (any, error) {
+		var e layout.Edge
+		if err := rpc.DecodeArgs(blob, &e); err != nil {
+			return nil, err
+		}
+		return true, s.store.AppendEdge(e)
+	})
+	s.rpc.Handle("DeleteNode", func(blob []byte) (any, error) {
+		var id graphapi.NodeID
+		if err := rpc.DecodeArgs(blob, &id); err != nil {
+			return nil, err
+		}
+		s.store.DeleteNode(id)
+		return true, nil
+	})
+	s.rpc.Handle("DeleteEdges", func(blob []byte) (any, error) {
+		var a deleteEdgesArgs
+		if err := rpc.DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		return s.store.DeleteEdges(a.Src, a.Type, a.Dst), nil
+	})
+}
+
+// neighbors executes get_neighbor_ids at the owner: destinations come
+// from the local edge records; property/liveness checks for remote
+// neighbors are shipped in one batch per owning server (Figure 4's
+// "Carol & Dan's cities?" fan-out).
+func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props map[string]string) ([]graphapi.NodeID, error) {
+	var records []*store.EdgeRecord
+	if etype < 0 {
+		records = s.store.GetEdgeRecords(id)
+	} else if rec, ok := s.store.GetEdgeRecord(id, etype); ok {
+		records = []*store.EdgeRecord{rec}
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	seen := make(map[graphapi.NodeID]bool)
+	perOwner := make(map[int][]graphapi.NodeID)
+	for _, rec := range records {
+		for _, dst := range rec.Destinations() {
+			if !seen[dst] {
+				seen[dst] = true
+				perOwner[OwnerOf(dst, s.cfg.NumServers)] = append(perOwner[OwnerOf(dst, s.cfg.NumServers)], dst)
+			}
+		}
+	}
+	var out []graphapi.NodeID
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(perOwner))
+	for owner, ids := range perOwner {
+		if owner == s.cfg.ID {
+			// Local checks need no shipping.
+			for _, dst := range ids {
+				if s.store.HasNode(dst) && s.store.NodeMatches(dst, props) {
+					mu.Lock()
+					out = append(out, dst)
+					mu.Unlock()
+				}
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(owner int, ids []graphapi.NodeID) {
+			defer wg.Done()
+			peer, err := s.peer(owner)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			var matches []bool
+			if err := peer.Call("MatchBatch", matchBatchArgs{IDs: ids, Props: props}, &matches); err != nil {
+				errCh <- err
+				return
+			}
+			mu.Lock()
+			for i, ok := range matches {
+				if ok {
+					out = append(out, ids[i])
+				}
+			}
+			mu.Unlock()
+		}(owner, ids)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

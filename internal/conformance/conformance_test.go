@@ -1,0 +1,396 @@
+// Package conformance differentially tests every graph store in the
+// repository — ZipG, the Neo4j-like pointer store and the Titan-like KV
+// store — against the naive reference implementation, over random
+// operation sequences. Agreement across all four is what licenses the
+// benchmark harness's throughput comparisons.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"zipg"
+	"zipg/internal/baselines/kvstore"
+	"zipg/internal/baselines/pointerstore"
+	"zipg/internal/graphapi"
+	"zipg/internal/refgraph"
+)
+
+// systems builds every implementation over the same initial graph.
+func systems(t testing.TB, nodes []graphapi.Node, edges []graphapi.Edge) map[string]graphapi.Store {
+	t.Helper()
+	g, err := zipg.Compress(zipg.GraphData{Nodes: nodes, Edges: edges}, zipg.Options{
+		NumShards:         2,
+		SamplingRate:      8,
+		LogStoreThreshold: 20 << 10, // small, to exercise rollovers mid-test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := pointerstore.New(nodes, edges, pointerstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pst, err := pointerstore.New(nodes, edges, pointerstore.Config{Tuned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := kvstore.New(nodes, edges, kvstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvc, err := kvstore.New(nodes, edges, kvstore.Config{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]graphapi.Store{
+		"zipg":        g,
+		"neo4j":       ps,
+		"neo4j-tuned": pst,
+		"titan":       kv,
+		"titan-c":     kvc,
+	}
+}
+
+func randomGraph(rng *rand.Rand, nNodes, nEdges int) ([]graphapi.Node, []graphapi.Edge) {
+	cities := []string{"Ithaca", "Berkeley", "Chicago", "Princeton"}
+	nodes := make([]graphapi.Node, nNodes)
+	for i := range nodes {
+		nodes[i] = graphapi.Node{ID: int64(i), Props: map[string]string{
+			"location": cities[rng.Intn(len(cities))],
+			"name":     fmt.Sprintf("user%d", i),
+		}}
+		if rng.Intn(3) == 0 {
+			nodes[i].Props["vip"] = "yes"
+		}
+	}
+	edges := make([]graphapi.Edge, nEdges)
+	for i := range edges {
+		edges[i] = graphapi.Edge{
+			Src:       int64(rng.Intn(nNodes)),
+			Dst:       int64(rng.Intn(nNodes)),
+			Type:      int64(rng.Intn(3)),
+			Timestamp: int64(rng.Intn(1000)),
+		}
+		if rng.Intn(2) == 0 {
+			edges[i].Props = map[string]string{"w": fmt.Sprint(rng.Intn(50))}
+		}
+	}
+	return nodes, edges
+}
+
+// checkAgreement runs every read query against all systems and the
+// reference, failing on any divergence.
+func checkAgreement(t *testing.T, ref graphapi.Store, sys map[string]graphapi.Store, nNodes int, rng *rand.Rand, tag string) {
+	t.Helper()
+	for trial := 0; trial < 40; trial++ {
+		id := int64(rng.Intn(nNodes + 5)) // occasionally out of range
+		etype := int64(rng.Intn(4)) - 1   // occasionally wildcard (-1)
+
+		wantProps, wantOK := ref.GetNodeProperty(id, nil)
+		wantNbr := ref.GetNeighborIDs(id, etype, nil)
+		wantNbrF := ref.GetNeighborIDs(id, etype, map[string]string{"location": "Ithaca"})
+		// GetEdgeRecord takes a concrete type; wildcard uses GetEdgeRecords.
+		var refRec graphapi.EdgeRecord
+		refRecOK := false
+		if etype >= 0 {
+			refRec, refRecOK = ref.GetEdgeRecord(id, etype)
+		}
+		refRecs := ref.GetEdgeRecords(id)
+
+		for name, s := range sys {
+			gotProps, gotOK := s.GetNodeProperty(id, nil)
+			if gotOK != wantOK {
+				t.Fatalf("[%s/%s] GetNodeProperty(%d) ok=%v want %v", tag, name, id, gotOK, wantOK)
+			}
+			if wantOK && !reflect.DeepEqual(gotProps, wantProps) {
+				t.Fatalf("[%s/%s] GetNodeProperty(%d) = %v want %v", tag, name, id, gotProps, wantProps)
+			}
+			if got := s.GetNeighborIDs(id, etype, nil); !sameIDs(got, wantNbr) {
+				t.Fatalf("[%s/%s] GetNeighborIDs(%d,%d) = %v want %v", tag, name, id, etype, got, wantNbr)
+			}
+			if got := s.GetNeighborIDs(id, etype, map[string]string{"location": "Ithaca"}); !sameIDs(got, wantNbrF) {
+				t.Fatalf("[%s/%s] filtered neighbors(%d,%d) = %v want %v", tag, name, id, etype, got, wantNbrF)
+			}
+			if etype >= 0 {
+				rec, ok := s.GetEdgeRecord(id, etype)
+				if ok != refRecOK {
+					t.Fatalf("[%s/%s] GetEdgeRecord(%d,%d) ok=%v want %v", tag, name, id, etype, ok, refRecOK)
+				}
+				if ok {
+					compareRecords(t, tag, name, id, etype, rec, refRec, rng)
+				}
+			}
+			recs := s.GetEdgeRecords(id)
+			if len(recs) != len(refRecs) {
+				t.Fatalf("[%s/%s] GetEdgeRecords(%d) = %d records, want %d", tag, name, id, len(recs), len(refRecs))
+			}
+			for ri := range recs {
+				compareRecords(t, tag, name, id, -1, recs[ri], refRecs[ri], rng)
+			}
+		}
+
+		// Node search by property.
+		for _, props := range []map[string]string{
+			{"location": "Berkeley"},
+			{"location": "Ithaca", "vip": "yes"},
+			{"name": fmt.Sprintf("user%d", rng.Intn(nNodes))},
+		} {
+			want := ref.GetNodeIDs(props)
+			for name, s := range sys {
+				if got := s.GetNodeIDs(props); !sameIDs(got, want) {
+					t.Fatalf("[%s/%s] GetNodeIDs(%v) = %v want %v", tag, name, props, got, want)
+				}
+			}
+		}
+	}
+}
+
+func compareRecords(t *testing.T, tag, name string, id, etype int64, rec, refRec graphapi.EdgeRecord, rng *rand.Rand) {
+	t.Helper()
+	if rec.Count() != refRec.Count() {
+		t.Fatalf("[%s/%s] record(%d,%d) count=%d want %d", tag, name, id, etype, rec.Count(), refRec.Count())
+	}
+	// Range queries agree.
+	lo := int64(rng.Intn(1000))
+	hi := lo + int64(rng.Intn(500))
+	gb, ge := rec.Range(lo, hi)
+	wb, we := refRec.Range(lo, hi)
+	if gb != wb || ge != we {
+		t.Fatalf("[%s/%s] record(%d,%d).Range(%d,%d) = [%d,%d) want [%d,%d)", tag, name, id, etype, lo, hi, gb, ge, wb, we)
+	}
+	// Edge data agrees at every time order. Timestamp ties may permute
+	// order across systems, so compare multisets per timestamp.
+	n := rec.Count()
+	gotAt := make(map[int64][]string)
+	wantAt := make(map[int64][]string)
+	for i := 0; i < n; i++ {
+		gd, err := rec.Data(i)
+		if err != nil {
+			t.Fatalf("[%s/%s] Data(%d): %v", tag, name, i, err)
+		}
+		wd, err := refRec.Data(i)
+		if err != nil {
+			t.Fatalf("[%s/ref] Data(%d): %v", tag, i, err)
+		}
+		gotAt[gd.Timestamp] = append(gotAt[gd.Timestamp], fmt.Sprint(gd.Dst, gd.Props))
+		wantAt[wd.Timestamp] = append(wantAt[wd.Timestamp], fmt.Sprint(wd.Dst, wd.Props))
+	}
+	for ts, want := range wantAt {
+		got := gotAt[ts]
+		if !sameMultiset(got, want) {
+			t.Fatalf("[%s/%s] record(%d,%d) edges at ts=%d: %v want %v", tag, name, id, etype, ts, got, want)
+		}
+	}
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := make(map[string]int)
+	for _, x := range a {
+		count[x]++
+	}
+	for _, x := range b {
+		count[x]--
+		if count[x] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllSystemsAgreeStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	nodes, edges := randomGraph(rng, 40, 300)
+	ref := refgraph.New(nodes, edges)
+	sys := systems(t, nodes, edges)
+	checkAgreement(t, ref, sys, 40, rng, "static")
+}
+
+func TestAllSystemsAgreeUnderMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const nNodes = 30
+	nodes, edges := randomGraph(rng, nNodes, 150)
+	ref := refgraph.New(nodes, edges)
+	sys := systems(t, nodes, edges)
+
+	apply := func(f func(s graphapi.Store) error) {
+		t.Helper()
+		if err := f(ref); err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range sys {
+			if err := f(s); err != nil {
+				t.Fatalf("[%s] %v", name, err)
+			}
+		}
+	}
+
+	for round := 0; round < 6; round++ {
+		// A burst of random mutations applied to every system.
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // append edge
+				e := graphapi.Edge{
+					Src:       int64(rng.Intn(nNodes)),
+					Dst:       int64(rng.Intn(nNodes)),
+					Type:      int64(rng.Intn(3)),
+					Timestamp: int64(rng.Intn(1000)),
+					Props:     map[string]string{"w": fmt.Sprint(rng.Intn(9))},
+				}
+				apply(func(s graphapi.Store) error { return s.AppendEdge(e) })
+			case 4, 5, 6: // append/update node
+				id := int64(rng.Intn(nNodes + 10))
+				props := map[string]string{
+					"location": []string{"Ithaca", "Berkeley"}[rng.Intn(2)],
+					"name":     fmt.Sprintf("user%d", id),
+				}
+				apply(func(s graphapi.Store) error { return s.AppendNode(id, props) })
+			case 7: // delete edges
+				src := int64(rng.Intn(nNodes))
+				dst := int64(rng.Intn(nNodes))
+				ty := int64(rng.Intn(3))
+				wantN, _ := ref.DeleteEdges(src, ty, dst)
+				for name, s := range sys {
+					gotN, err := s.DeleteEdges(src, ty, dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotN != wantN {
+						t.Fatalf("[%s] DeleteEdges removed %d want %d", name, gotN, wantN)
+					}
+				}
+			case 8: // delete node
+				id := int64(rng.Intn(nNodes))
+				apply(func(s graphapi.Store) error { return s.DeleteNode(id) })
+			case 9: // recreate a node
+				id := int64(rng.Intn(nNodes))
+				apply(func(s graphapi.Store) error {
+					return s.AppendNode(id, map[string]string{"name": "reborn"})
+				})
+			}
+		}
+		checkAgreement(t, ref, sys, nNodes, rng, fmt.Sprintf("round%d", round))
+	}
+}
+
+// opScript is a quick-generatable program of graph mutations and
+// queries. Interpreting the same script against zipg and the reference
+// and comparing observations is a property: "no operation sequence can
+// make the compressed store diverge from the naive one."
+type opScript struct {
+	Ops []scriptOp
+}
+
+type scriptOp struct {
+	Kind  uint8
+	ID    uint16
+	Dst   uint16
+	Type  uint8
+	Ts    uint32
+	Value uint8
+}
+
+func TestQuickOpScriptsAgree(t *testing.T) {
+	const nNodes = 16
+	cities := []string{"a", "b", "c"}
+	f := func(script opScript) bool {
+		if len(script.Ops) > 120 {
+			script.Ops = script.Ops[:120]
+		}
+		rng := rand.New(rand.NewSource(77))
+		nodes, edges := randomGraph(rng, nNodes, 40)
+		g, err := zipg.Compress(zipg.GraphData{Nodes: nodes, Edges: edges}, zipg.Options{
+			NumShards:         2,
+			SamplingRate:      8,
+			LogStoreThreshold: 4 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := refgraph.New(nodes, edges)
+		sys := map[string]graphapi.Store{"zipg": g, "ref": ref}
+
+		for _, op := range script.Ops {
+			id := int64(op.ID % (nNodes + 4))
+			dst := int64(op.Dst % (nNodes + 4))
+			etype := int64(op.Type % 3)
+			switch op.Kind % 8 {
+			case 0, 1: // append edge
+				e := graphapi.Edge{Src: id, Dst: dst, Type: etype, Timestamp: int64(op.Ts % 1000)}
+				for _, s := range sys {
+					if err := s.AppendEdge(e); err != nil {
+						return false
+					}
+				}
+			case 2: // append/replace node
+				props := map[string]string{"location": cities[op.Value%3]}
+				for _, s := range sys {
+					if err := s.AppendNode(id, props); err != nil {
+						return false
+					}
+				}
+			case 3: // delete node
+				for _, s := range sys {
+					s.DeleteNode(id)
+				}
+			case 4: // delete edges
+				a, _ := g.DeleteEdges(id, etype, dst)
+				b, _ := ref.DeleteEdges(id, etype, dst)
+				if a != b {
+					return false
+				}
+			case 5: // observe node
+				av, aok := g.GetNodeProperty(id, nil)
+				bv, bok := ref.GetNodeProperty(id, nil)
+				if aok != bok || !reflect.DeepEqual(av, bv) {
+					return false
+				}
+			case 6: // observe record
+				ar, aok := g.GetEdgeRecord(id, etype)
+				br, bok := ref.GetEdgeRecord(id, etype)
+				if aok != bok {
+					return false
+				}
+				if aok && ar.Count() != br.Count() {
+					return false
+				}
+			case 7: // observe neighbors
+				if !reflect.DeepEqual(
+					g.GetNeighborIDs(id, etype, nil),
+					ref.GetNeighborIDs(id, etype, nil)) {
+					return false
+				}
+			}
+		}
+		// Final sweep: every node agrees.
+		for id := int64(0); id < nNodes+4; id++ {
+			av, aok := g.GetNodeProperty(id, nil)
+			bv, bok := ref.GetNodeProperty(id, nil)
+			if aok != bok || !reflect.DeepEqual(av, bv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"zipg/internal/layout"
+	"zipg/internal/memsim"
+)
+
+func buildTestShard(t testing.TB) (*Shard, []layout.Node, []layout.Edge) {
+	t.Helper()
+	ns, err := layout.NewPropertySchema([]string{"city", "name"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := layout.NewPropertySchema([]string{"w"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]layout.Node, 25)
+	for i := range nodes {
+		nodes[i] = layout.Node{ID: int64(i), Props: map[string]string{
+			"city": fmt.Sprintf("c%d", i%4),
+			"name": fmt.Sprintf("n%d", i),
+		}}
+	}
+	var edges []layout.Edge
+	for i := 0; i < 80; i++ {
+		edges = append(edges, layout.Edge{
+			Src: int64(i % 25), Dst: int64((i * 7) % 25), Type: int64(i % 2),
+			Timestamp: int64(i), Props: map[string]string{"w": fmt.Sprint(i)},
+		})
+	}
+	sh, err := Build(nodes, edges, ns, es, Options{SamplingRate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh, nodes, edges
+}
+
+func TestShardQueries(t *testing.T) {
+	sh, nodes, _ := buildTestShard(t)
+	for _, n := range nodes {
+		props, ok := sh.Nodes().GetAllProps(n.ID)
+		if !ok || !reflect.DeepEqual(props, n.Props) {
+			t.Fatalf("node %d: %v, want %v", n.ID, props, n.Props)
+		}
+	}
+	ref, ok := sh.Edges().GetEdgeRecord(3, 0)
+	if !ok || ref.Count == 0 {
+		t.Fatal("edge record missing")
+	}
+	if sh.CompressedSize() <= 0 || sh.RawSize() <= 0 {
+		t.Fatal("size accounting broken")
+	}
+	if sh.NumNodes() != len(nodes) {
+		t.Fatalf("NumNodes = %d", sh.NumNodes())
+	}
+}
+
+func TestShardSerializationRoundTrip(t *testing.T) {
+	sh, nodes, _ := buildTestShard(t)
+	blob, err := sh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := memsim.Unlimited()
+	got, err := UnmarshalShard(blob, med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		props, ok := got.Nodes().GetAllProps(n.ID)
+		if !ok || !reflect.DeepEqual(props, n.Props) {
+			t.Fatalf("after round trip, node %d: %v", n.ID, props)
+		}
+	}
+	wantRef, _ := sh.Edges().GetEdgeRecord(3, 0)
+	gotRef, ok := got.Edges().GetEdgeRecord(3, 0)
+	if !ok || gotRef.Count != wantRef.Count {
+		t.Fatalf("edge record after round trip: %+v want %+v", gotRef, wantRef)
+	}
+	if got.RawSize() != sh.RawSize() {
+		t.Fatalf("raw size %d != %d", got.RawSize(), sh.RawSize())
+	}
+}
+
+func TestUnmarshalShardErrors(t *testing.T) {
+	if _, err := UnmarshalShard([]byte("not a shard"), nil); err == nil {
+		t.Error("expected error on garbage")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"zipg/internal/layout"
+	"zipg/internal/memsim"
+	"zipg/internal/succinct"
+)
+
+// shardWire is the on-disk/wire form of a shard: the two serialized
+// succinct stores, the uncompressed node index, and the schema specs
+// needed to rebuild the views. This is the "serialized flat files"
+// persistence of §4.1.
+type shardWire struct {
+	NodeStore    []byte
+	EdgeStore    []byte
+	NodeIDs      []int64
+	NodeOffsets  []int64
+	EdgeSrcs     []int64
+	EdgeIndex    []layout.EdgeRecordIndex
+	NodeSchema   layout.SchemaSpec
+	EdgeSchema   layout.SchemaSpec
+	RawNodeBytes int
+	RawEdgeBytes int
+}
+
+// MarshalBinary serializes the shard.
+func (s *Shard) MarshalBinary() ([]byte, error) {
+	w := shardWire{
+		NodeStore:    s.nodeStore.MarshalBinary(),
+		EdgeStore:    s.edgeStore.MarshalBinary(),
+		NodeIDs:      s.nodes.IDs(),
+		EdgeSrcs:     s.edgeSrcs,
+		EdgeIndex:    s.edgeIndex,
+		NodeSchema:   s.nodes.Schema().Spec(),
+		EdgeSchema:   s.edges.Schema().Spec(),
+		RawNodeBytes: s.rawNodeBytes,
+		RawEdgeBytes: s.rawEdgeBytes,
+	}
+	w.NodeOffsets = s.nodes.Offsets()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("core: marshal shard: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalShard reconstructs a shard serialized by MarshalBinary,
+// placing it on med (nil = unlimited).
+func UnmarshalShard(data []byte, med *memsim.Medium) (*Shard, error) {
+	var w shardWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: unmarshal shard: %w", err)
+	}
+	nodeSchema, err := w.NodeSchema.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: node schema: %w", err)
+	}
+	edgeSchema, err := w.EdgeSchema.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: edge schema: %w", err)
+	}
+	s := &Shard{rawNodeBytes: w.RawNodeBytes, rawEdgeBytes: w.RawEdgeBytes, edgeSrcs: w.EdgeSrcs, edgeIndex: w.EdgeIndex}
+	if s.nodeStore, err = succinct.UnmarshalStore(w.NodeStore, med); err != nil {
+		return nil, fmt.Errorf("core: node store: %w", err)
+	}
+	if s.edgeStore, err = succinct.UnmarshalStore(w.EdgeStore, med); err != nil {
+		return nil, fmt.Errorf("core: edge store: %w", err)
+	}
+	s.nodes = layout.NewNodeFileView(s.nodeStore, nodeSchema, w.NodeIDs, w.NodeOffsets, med)
+	s.edges = layout.NewEdgeFileView(s.edgeStore, edgeSchema)
+	return s, nil
+}

@@ -1,0 +1,113 @@
+// Package core implements a ZipG shard: one partition of the graph held
+// as a compressed NodeFile and EdgeFile (§3.3) queried directly in their
+// compressed form (§3.4). Shards are immutable once built — all mutation
+// happens in the LogStore and in the store-level update pointers and
+// deletion bitmaps (§3.5) — so shard reads take no locks.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"zipg/internal/layout"
+	"zipg/internal/memsim"
+	"zipg/internal/succinct"
+)
+
+// Options configures shard construction.
+type Options struct {
+	// SamplingRate is Succinct's α (0 = default).
+	SamplingRate int
+	// Medium is the simulated storage for this shard's structures
+	// (nil = unlimited).
+	Medium *memsim.Medium
+}
+
+// Shard is one immutable graph partition in ZipG layout over compressed
+// storage.
+type Shard struct {
+	nodes *layout.NodeFileView
+	edges *layout.EdgeFileView
+
+	nodeStore *succinct.Store
+	edgeStore *succinct.Store
+
+	// edgeSrcs lists the distinct source IDs with edge records in this
+	// shard (needed to enumerate records, e.g. for compaction: a shard
+	// frozen from a LogStore may hold edges for sources whose node
+	// records live in other fragments).
+	edgeSrcs []layout.NodeID
+	// edgeIndex lists every edge record's key and offset in file order
+	// (used by edge-property search).
+	edgeIndex []layout.EdgeRecordIndex
+
+	rawNodeBytes int
+	rawEdgeBytes int
+}
+
+// Build compresses the given nodes and edges into a shard. The schemas
+// must be the system-global ones so delimiters agree across shards.
+func Build(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layout.PropertySchema, opts Options) (*Shard, error) {
+	nodeFlat, ids, offs, err := layout.BuildNodeFile(nodes, nodeSchema)
+	if err != nil {
+		return nil, fmt.Errorf("core: node file: %w", err)
+	}
+	edgeFlat, edgeIndex, err := layout.BuildEdgeFile(edges, edgeSchema)
+	if err != nil {
+		return nil, fmt.Errorf("core: edge file: %w", err)
+	}
+	succOpts := succinct.Options{SamplingRate: opts.SamplingRate, Medium: opts.Medium}
+	s := &Shard{
+		nodeStore:    succinct.Build(nodeFlat, succOpts),
+		edgeStore:    succinct.Build(edgeFlat, succOpts),
+		edgeSrcs:     distinctSources(edges),
+		edgeIndex:    edgeIndex,
+		rawNodeBytes: len(nodeFlat),
+		rawEdgeBytes: len(edgeFlat),
+	}
+	s.nodes = layout.NewNodeFileView(s.nodeStore, nodeSchema, ids, offs, opts.Medium)
+	s.edges = layout.NewEdgeFileView(s.edgeStore, edgeSchema)
+	return s, nil
+}
+
+// Nodes returns the shard's NodeFile view.
+func (s *Shard) Nodes() *layout.NodeFileView { return s.nodes }
+
+// Edges returns the shard's EdgeFile view.
+func (s *Shard) Edges() *layout.EdgeFileView { return s.edges }
+
+// NumNodes returns how many node records the shard holds.
+func (s *Shard) NumNodes() int { return s.nodes.NumNodes() }
+
+// CompressedSize returns the shard's compressed footprint in bytes
+// (excluding the node offset index, which is uncompressed by design).
+func (s *Shard) CompressedSize() int {
+	return s.nodeStore.CompressedSize() + s.edgeStore.CompressedSize()
+}
+
+// RawSize returns the size of the uncompressed flat files.
+func (s *Shard) RawSize() int { return s.rawNodeBytes + s.rawEdgeBytes }
+
+// EdgeSources returns the distinct source node IDs that have edge
+// records in this shard, ascending.
+func (s *Shard) EdgeSources() []layout.NodeID { return s.edgeSrcs }
+
+// FindEdges returns the edges in this shard whose property lists match
+// every pair exactly — the edge-search extension of §3.3.
+func (s *Shard) FindEdges(props map[string]string) []layout.EdgeMatch {
+	return s.edges.FindEdges(s.edgeIndex, props)
+}
+
+// distinctSources extracts the sorted distinct edge sources.
+func distinctSources(edges []layout.Edge) []layout.NodeID {
+	seen := make(map[layout.NodeID]bool, len(edges))
+	var out []layout.NodeID
+	for _, e := range edges {
+		if !seen[e.Src] {
+			seen[e.Src] = true
+			out = append(out, e.Src)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

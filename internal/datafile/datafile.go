@@ -1,0 +1,55 @@
+// Package datafile reads and writes the serialized graph-partition files
+// exchanged between cmd/zipg-load (which generates and partitions a
+// graph) and cmd/zipg-server (which serves one partition). This is the
+// paper's "serialized flat files" persistence boundary (§4.1) at the
+// granularity of a server's input.
+package datafile
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"zipg/internal/graphapi"
+	"zipg/internal/layout"
+)
+
+// Graph is one partition's raw content plus the system-global schemas
+// (which every partition must share so delimiters agree).
+type Graph struct {
+	Nodes      []graphapi.Node
+	Edges      []graphapi.Edge
+	NodeSchema layout.SchemaSpec
+	EdgeSchema layout.SchemaSpec
+	// ServerID and NumServers record the partitioning this file belongs
+	// to; servers refuse mismatched files.
+	ServerID   int
+	NumServers int
+}
+
+// Write serializes the partition to path.
+func Write(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("datafile: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(g); err != nil {
+		return fmt.Errorf("datafile: encode %s: %w", path, err)
+	}
+	return f.Sync()
+}
+
+// Read loads a partition from path.
+func Read(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("datafile: %w", err)
+	}
+	defer f.Close()
+	var g Graph
+	if err := gob.NewDecoder(f).Decode(&g); err != nil {
+		return nil, fmt.Errorf("datafile: decode %s: %w", path, err)
+	}
+	return &g, nil
+}

@@ -1,0 +1,56 @@
+package datafile
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"zipg/internal/graphapi"
+	"zipg/internal/layout"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "part-0.graph")
+	ns, err := layout.NewPropertySchema([]string{"a", "b"}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Graph{
+		Nodes: []graphapi.Node{
+			{ID: 1, Props: map[string]string{"a": "x"}},
+			{ID: 2, Props: map[string]string{"b": "y"}},
+		},
+		Edges: []graphapi.Edge{
+			{Src: 1, Dst: 2, Type: 3, Timestamp: 4, Props: map[string]string{"a": "z"}},
+		},
+		NodeSchema: ns.Spec(),
+		EdgeSchema: ns.Spec(),
+		ServerID:   2,
+		NumServers: 5,
+	}
+	if err := Write(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, g) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, g)
+	}
+	// The schema spec rebuilds a working schema.
+	schema, err := got.NodeSchema.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.NumProperties() != 2 {
+		t.Fatalf("rebuilt schema has %d properties", schema.NumProperties())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.graph")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

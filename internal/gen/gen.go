@@ -1,0 +1,294 @@
+// Package gen generates the evaluation datasets and access-skew
+// distributions. The paper evaluated on three real-world graphs (orkut,
+// twitter, uk) annotated with the property distributions reported in the
+// Facebook TAO paper, plus three LinkBench-generated graphs; none of
+// that data ships here, so this package generates scaled synthetic
+// equivalents that preserve what the experiments actually depend on:
+//
+//   - relative dataset sizes (Table 4's 20 GB : 250 GB : 636 GB becomes
+//     1x : 12.5x : 32x at a configurable base size),
+//   - Zipf-skewed degree distributions (hot nodes with huge
+//     neighborhoods drive LinkBench's skew effects),
+//   - the TAO property shape for "real-world" datasets (≈640 B of node
+//     properties over 40 property IDs, 5 edge types, POSIX timestamps
+//     spanning 50 days, one 128 B edge property), and
+//   - the compressibility contrast: real-world property values come from
+//     small vocabularies (compressible); LinkBench-like values are
+//     uniform random alphanumerics (≈15% worse compression, §5.1).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zipg/internal/graphapi"
+)
+
+// Kind distinguishes the two dataset families of Table 4.
+type Kind int
+
+const (
+	// RealWorld mimics orkut/twitter/uk with TAO property distributions.
+	RealWorld Kind = iota
+	// LinkBench mimics the LinkBench generator's output.
+	LinkBench
+)
+
+// timestampBase and timestampSpan bound edge timestamps: a 50-day span
+// of POSIX seconds (§5, Datasets).
+const (
+	timestampBase = int64(1_400_000_000)
+	timestampSpan = int64(50 * 24 * 3600)
+)
+
+// DatasetSpec describes one dataset to generate.
+type DatasetSpec struct {
+	Name string
+	Kind Kind
+	// TargetBytes is the approximate uncompressed flat-layout size.
+	TargetBytes int64
+	// AvgDegree is edges per node (orkut ≈ 39, LinkBench ≈ 4.4).
+	AvgDegree int
+	// NumEdgeTypes is the number of distinct edge types (TAO uses 5).
+	NumEdgeTypes int
+	// ZipfS is the degree/access skew exponent (default 1.25).
+	ZipfS float64
+	Seed  int64
+}
+
+// Dataset is a generated graph plus the metadata query generators need.
+type Dataset struct {
+	Spec  DatasetSpec
+	Nodes []graphapi.Node
+	Edges []graphapi.Edge
+	// Vocab holds, per property ID, the value pool used — queries sample
+	// from it so that searches have hits.
+	Vocab map[string][]string
+	// RawBytes estimates the uncompressed flat-layout size.
+	RawBytes int64
+}
+
+// realWorldPropertyIDs returns TAO-style property IDs: prop00..prop39.
+func realWorldPropertyIDs() []string {
+	ids := make([]string, 40)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("prop%02d", i)
+	}
+	return ids
+}
+
+// vocabWord emits a compressible, word-like value of roughly n bytes.
+func vocabWord(rng *rand.Rand, n int) string {
+	syllables := []string{"an", "ber", "ca", "dor", "el", "fi", "gra", "hil", "it", "jo", "ka", "lu", "mon", "ne", "or", "pa"}
+	out := make([]byte, 0, n+3)
+	for len(out) < n {
+		out = append(out, syllables[rng.Intn(len(syllables))]...)
+	}
+	return string(out[:n])
+}
+
+// randomWord emits an incompressible alphanumeric value of n bytes.
+func randomWord(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+// Generate materializes the dataset.
+func (spec DatasetSpec) Generate() *Dataset {
+	if spec.AvgDegree <= 0 {
+		spec.AvgDegree = 10
+	}
+	if spec.NumEdgeTypes <= 0 {
+		spec.NumEdgeTypes = 5
+	}
+	if spec.ZipfS <= 1 {
+		spec.ZipfS = 1.25
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	d := &Dataset{Spec: spec, Vocab: make(map[string][]string)}
+
+	// Per-node byte estimates drive the node count for the byte target.
+	var perNode int64
+	var propIDs []string
+	switch spec.Kind {
+	case RealWorld:
+		propIDs = realWorldPropertyIDs()
+		perNode = 760 + int64(spec.AvgDegree)*150
+	case LinkBench:
+		propIDs = []string{"data"}
+		perNode = 140 + int64(spec.AvgDegree)*150
+	}
+	nNodes := int(spec.TargetBytes / perNode)
+	if nNodes < 16 {
+		nNodes = 16
+	}
+	nEdges := nNodes * spec.AvgDegree
+
+	// Build the vocabularies. Real-world property values repeat heavily
+	// (locations, ages, affiliations): small pools make the flat files as
+	// compressible as real social-graph data. LinkBench values are
+	// uniform random bytes, reproducing its lower compressibility (§5.1).
+	for _, pid := range propIDs {
+		var pool []string
+		switch spec.Kind {
+		case RealWorld:
+			// TAO: ≈640 B over 40 properties → ≈16 B values.
+			pool = make([]string, 12)
+			for i := range pool {
+				pool[i] = vocabWord(rng, 12+rng.Intn(8))
+			}
+		case LinkBench:
+			// LinkBench: one property, median 128 B, incompressible.
+			pool = make([]string, 64)
+			for i := range pool {
+				pool[i] = randomWord(rng, 96+rng.Intn(64))
+			}
+		}
+		d.Vocab[pid] = pool
+	}
+	var edgePropPool []string
+	switch spec.Kind {
+	case RealWorld:
+		edgePropPool = make([]string, 8)
+		for i := range edgePropPool {
+			edgePropPool[i] = vocabWord(rng, 128) // 128 B edge property
+		}
+	case LinkBench:
+		edgePropPool = make([]string, 64)
+		for i := range edgePropPool {
+			edgePropPool[i] = randomWord(rng, 96+rng.Intn(64))
+		}
+	}
+	d.Vocab["edgedata"] = edgePropPool
+
+	// Nodes.
+	d.Nodes = make([]graphapi.Node, nNodes)
+	for i := range d.Nodes {
+		props := make(map[string]string, len(propIDs))
+		for _, pid := range propIDs {
+			props[pid] = d.Vocab[pid][rng.Intn(len(d.Vocab[pid]))]
+		}
+		d.Nodes[i] = graphapi.Node{ID: int64(i), Props: props}
+	}
+
+	// Edges: Zipf-skewed sources (hot nodes get huge neighborhoods),
+	// uniform destinations. Out-degrees are capped at a fraction of the
+	// node count — real graphs' maximum degrees are a few percent of N
+	// (orkut ≈ 1%) and an uncapped Zipf head at small N would let one
+	// node neighbor the whole graph.
+	srcZipf := rand.NewZipf(rng, spec.ZipfS, 1, uint64(nNodes-1))
+	maxDegree := nNodes / 16
+	if min := 4 * spec.AvgDegree; maxDegree < min {
+		maxDegree = min
+	}
+	degree := make([]int, nNodes)
+	sampleSrc := func() int64 {
+		for {
+			s := int64(srcZipf.Uint64())
+			if degree[s] < maxDegree {
+				degree[s]++
+				return s
+			}
+		}
+	}
+	d.Edges = make([]graphapi.Edge, nEdges)
+	for i := range d.Edges {
+		d.Edges[i] = graphapi.Edge{
+			Src:       sampleSrc(),
+			Dst:       int64(rng.Intn(nNodes)),
+			Type:      int64(rng.Intn(spec.NumEdgeTypes)),
+			Timestamp: timestampBase + rng.Int63n(timestampSpan),
+			Props:     map[string]string{"edgedata": edgePropPool[rng.Intn(len(edgePropPool))]},
+		}
+	}
+
+	// Estimate the raw layout size.
+	for _, n := range d.Nodes {
+		d.RawBytes += int64(propsBytes(n.Props)) + 42 // lengths header + delims
+	}
+	for _, e := range d.Edges {
+		d.RawBytes += int64(propsBytes(e.Props)) + 24
+	}
+	return d
+}
+
+func propsBytes(props map[string]string) int {
+	n := 0
+	for k, v := range props {
+		n += len(k)/8 + len(v) + 2
+	}
+	return n
+}
+
+// NumNodes returns the node count.
+func (d *Dataset) NumNodes() int { return len(d.Nodes) }
+
+// NumEdges returns the edge count.
+func (d *Dataset) NumEdges() int { return len(d.Edges) }
+
+// SampleValue returns a value from the pool of the given property ID.
+func (d *Dataset) SampleValue(rng *rand.Rand, pid string) string {
+	pool := d.Vocab[pid]
+	return pool[rng.Intn(len(pool))]
+}
+
+// PropertyIDs returns the node property IDs present in the dataset.
+func (d *Dataset) PropertyIDs() []string {
+	if d.Spec.Kind == RealWorld {
+		return realWorldPropertyIDs()
+	}
+	return []string{"data"}
+}
+
+// Access is a Zipf-skewed node-ID sampler modeling query skew (LinkBench
+// accesses are "skewed towards nodes with more neighbors" — the same hot
+// nodes that got the most edges, since both use the same Zipf rank
+// order).
+type Access struct {
+	zipf *rand.Zipf
+	rng  *rand.Rand
+	n    int
+}
+
+// NewAccess builds a sampler over [0, n) with skew s (s <= 1 means
+// uniform).
+func NewAccess(seed int64, n int, s float64) *Access {
+	rng := rand.New(rand.NewSource(seed))
+	a := &Access{rng: rng, n: n}
+	if s > 1 {
+		a.zipf = rand.NewZipf(rng, s, 1, uint64(n-1))
+	}
+	return a
+}
+
+// Next samples a node ID.
+func (a *Access) Next() int64 {
+	if a.zipf == nil {
+		return int64(a.rng.Intn(a.n))
+	}
+	return int64(a.zipf.Uint64())
+}
+
+// Rng exposes the sampler's random source for auxiliary draws.
+func (a *Access) Rng() *rand.Rand { return a.rng }
+
+// StandardSpecs returns the six datasets of Table 4 at the given base
+// size (bytes for the smallest dataset). Sizes keep the paper's
+// 1 : 12.5 : 32 on-disk ratios.
+func StandardSpecs(base int64) []DatasetSpec {
+	if base <= 0 {
+		base = 1 << 20
+	}
+	return []DatasetSpec{
+		{Name: "orkut", Kind: RealWorld, TargetBytes: base, AvgDegree: 39, NumEdgeTypes: 5, Seed: 101},
+		{Name: "twitter", Kind: RealWorld, TargetBytes: base * 25 / 2, AvgDegree: 36, NumEdgeTypes: 5, Seed: 102},
+		{Name: "uk", Kind: RealWorld, TargetBytes: base * 32, AvgDegree: 35, NumEdgeTypes: 5, Seed: 103},
+		{Name: "lb-small", Kind: LinkBench, TargetBytes: base, AvgDegree: 5, NumEdgeTypes: 5, ZipfS: 1.5, Seed: 104},
+		{Name: "lb-medium", Kind: LinkBench, TargetBytes: base * 25 / 2, AvgDegree: 5, NumEdgeTypes: 5, ZipfS: 1.5, Seed: 105},
+		{Name: "lb-large", Kind: LinkBench, TargetBytes: base * 32, AvgDegree: 5, NumEdgeTypes: 5, ZipfS: 1.5, Seed: 106},
+	}
+}

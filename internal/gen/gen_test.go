@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"testing"
+
+	"zipg/internal/layout"
+	"zipg/internal/succinct"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DatasetSpec{Name: "x", Kind: RealWorld, TargetBytes: 200_000, AvgDegree: 10, Seed: 7}
+	a, b := spec.Generate(), spec.Generate()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("generation not deterministic in size")
+	}
+	for i := range a.Nodes {
+		for k, v := range a.Nodes[i].Props {
+			if b.Nodes[i].Props[k] != v {
+				t.Fatal("generation not deterministic in content")
+			}
+		}
+	}
+	if a.Edges[5].Src != b.Edges[5].Src || a.Edges[5].Dst != b.Edges[5].Dst ||
+		a.Edges[5].Timestamp != b.Edges[5].Timestamp ||
+		a.Edges[5].Props["edgedata"] != b.Edges[5].Props["edgedata"] {
+		t.Fatal("edges not deterministic")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, spec := range StandardSpecs(100_000) {
+		d := spec.Generate()
+		if d.NumNodes() < 16 {
+			t.Fatalf("%s: too few nodes", spec.Name)
+		}
+		wantEdges := d.NumNodes() * spec.AvgDegree
+		if d.NumEdges() != wantEdges {
+			t.Fatalf("%s: edges = %d, want %d", spec.Name, d.NumEdges(), wantEdges)
+		}
+		// Property shape per kind.
+		nprops := len(d.Nodes[0].Props)
+		if spec.Kind == RealWorld && nprops != 40 {
+			t.Fatalf("%s: %d node properties, want 40 (TAO)", spec.Name, nprops)
+		}
+		if spec.Kind == LinkBench && nprops != 1 {
+			t.Fatalf("%s: %d node properties, want 1 (LinkBench)", spec.Name, nprops)
+		}
+		// Timestamps within the 50-day span.
+		for _, e := range d.Edges[:100] {
+			if e.Timestamp < timestampBase || e.Timestamp >= timestampBase+timestampSpan {
+				t.Fatalf("%s: timestamp %d out of span", spec.Name, e.Timestamp)
+			}
+			if e.Type < 0 || e.Type >= int64(spec.NumEdgeTypes) {
+				t.Fatalf("%s: bad edge type %d", spec.Name, e.Type)
+			}
+		}
+	}
+}
+
+func TestSizeRatios(t *testing.T) {
+	specs := StandardSpecs(1 << 20)
+	if specs[1].TargetBytes*2 != specs[0].TargetBytes*25 {
+		t.Fatal("twitter/orkut ratio wrong")
+	}
+	if specs[2].TargetBytes != specs[0].TargetBytes*32 {
+		t.Fatal("uk/orkut ratio wrong")
+	}
+}
+
+func TestDegreeSkew(t *testing.T) {
+	d := DatasetSpec{Name: "skew", Kind: LinkBench, TargetBytes: 500_000, AvgDegree: 5, ZipfS: 1.5, Seed: 9}.Generate()
+	deg := map[int64]int{}
+	for _, e := range d.Edges {
+		deg[e.Src]++
+	}
+	// The hottest node should hold far more than the average degree.
+	max := 0
+	for _, c := range deg {
+		if c > max {
+			max = c
+		}
+	}
+	// The generator caps degrees at max(N/16, 4*avg); skew should still
+	// push the hottest node to that cap's neighborhood.
+	if max < 4*d.Spec.AvgDegree {
+		t.Errorf("degree skew too weak: max degree %d, avg %d", max, d.Spec.AvgDegree)
+	}
+}
+
+func TestCompressibilityContrast(t *testing.T) {
+	// The real-world dataset must compress better than the LinkBench-like
+	// one (§5.1: ≈15% worse for LinkBench).
+	rw := DatasetSpec{Name: "rw", Kind: RealWorld, TargetBytes: 400_000, AvgDegree: 10, Seed: 11}.Generate()
+	lb := DatasetSpec{Name: "lb", Kind: LinkBench, TargetBytes: 400_000, AvgDegree: 10, Seed: 12}.Generate()
+	ratio := func(d *Dataset) float64 {
+		ns, err := layout.NewPropertySchema(d.PropertyIDs(), 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, _, _, err := layout.BuildNodeFile(d.Nodes, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := succinct.Build(flat, succinct.Options{SamplingRate: 32})
+		return float64(st.CompressedSize()) / float64(len(flat))
+	}
+	rwRatio, lbRatio := ratio(rw), ratio(lb)
+	t.Logf("real-world ratio %.2f, linkbench ratio %.2f", rwRatio, lbRatio)
+	if rwRatio >= lbRatio {
+		t.Errorf("real-world (%.2f) should compress better than linkbench (%.2f)", rwRatio, lbRatio)
+	}
+}
+
+func TestAccessSkew(t *testing.T) {
+	a := NewAccess(3, 1000, 1.5)
+	counts := map[int64]int{}
+	for i := 0; i < 10000; i++ {
+		id := a.Next()
+		if id < 0 || id >= 1000 {
+			t.Fatalf("access out of range: %d", id)
+		}
+		counts[id]++
+	}
+	if counts[0] < 1000 {
+		t.Errorf("zipf head too cold: %d", counts[0])
+	}
+	u := NewAccess(4, 1000, 0)
+	seen := map[int64]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[u.Next()] = true
+	}
+	if len(seen) < 900 {
+		t.Errorf("uniform access covered only %d ids", len(seen))
+	}
+}
+
+func TestSampleValueHasHits(t *testing.T) {
+	d := DatasetSpec{Name: "s", Kind: RealWorld, TargetBytes: 300_000, AvgDegree: 5, Seed: 13}.Generate()
+	rng := NewAccess(5, d.NumNodes(), 0).Rng()
+	// A sampled (pid, value) should match at least one node reasonably
+	// often (pools have 64 values; with hundreds of nodes most values
+	// appear).
+	hits := 0
+	for trial := 0; trial < 20; trial++ {
+		pid := d.PropertyIDs()[rng.Intn(40)]
+		val := d.SampleValue(rng, pid)
+		for _, n := range d.Nodes {
+			if n.Props[pid] == val {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 10 {
+		t.Errorf("sampled values rarely present: %d/20", hits)
+	}
+}

@@ -1,0 +1,25 @@
+package graphapi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeBounds(t *testing.T) {
+	lo, hi := TimeBounds(WildcardTime, WildcardTime)
+	if lo != 0 || hi != math.MaxInt64 {
+		t.Fatalf("full wildcard = [%d, %d)", lo, hi)
+	}
+	lo, hi = TimeBounds(5, WildcardTime)
+	if lo != 5 || hi != math.MaxInt64 {
+		t.Fatalf("open upper = [%d, %d)", lo, hi)
+	}
+	lo, hi = TimeBounds(WildcardTime, 9)
+	if lo != 0 || hi != 9 {
+		t.Fatalf("open lower = [%d, %d)", lo, hi)
+	}
+	lo, hi = TimeBounds(3, 7)
+	if lo != 3 || hi != 7 {
+		t.Fatalf("concrete = [%d, %d)", lo, hi)
+	}
+}

@@ -1,0 +1,427 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Edge is one directed edge with its optional timestamp and property
+// list (§2.1: a 3-tuple of sourceID, destinationID, EdgeType, plus
+// Timestamp and PropertyList).
+type Edge struct {
+	Src       NodeID
+	Dst       NodeID
+	Type      EdgeType
+	Timestamp int64
+	Props     map[string]string
+}
+
+// EdgeFile metadata field widths (Figure 2). EdgeCount is globally
+// fixed-width; TLength/DLength/PLenWidth are per-record single digits
+// that record the per-record fixed widths chosen for timestamps,
+// destination IDs and property-list lengths — the paper's middle ground
+// between variable-length and globally fixed-length encodings.
+const (
+	edgeCountWidth = 6
+	metaWidth      = edgeCountWidth + 3
+)
+
+// RecordKey returns the search key that starts the EdgeRecord for
+// (src, etype): $src#etype, with $ and # being non-printable delimiters.
+// The trailing ',' makes the key prefix-free (etype 5 never matches
+// etype 52).
+func RecordKey(src NodeID, etype EdgeType) []byte {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, EdgeRecordStart)
+	buf = strconv.AppendInt(buf, src, 10)
+	buf = append(buf, EdgeTypeSep)
+	buf = strconv.AppendInt(buf, int64(etype), 10)
+	buf = append(buf, ',')
+	return buf
+}
+
+// NodeKeyPrefix returns the prefix matching every EdgeRecord of src
+// regardless of type (used for wildcard-EdgeType queries).
+func NodeKeyPrefix(src NodeID) []byte {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, EdgeRecordStart)
+	buf = strconv.AppendInt(buf, src, 10)
+	buf = append(buf, EdgeTypeSep)
+	return buf
+}
+
+// EdgeRecordIndex locates one EdgeRecord in a built EdgeFile: its key
+// and start offset. The index is what lets search hits inside edge
+// property lists be mapped back to their (source, type) record — the
+// extension §3.3 sketches ("ZipG currently does not support search on
+// edge propertyLists, but can be trivially extended to do so using ideas
+// similar to NodeFile").
+type EdgeRecordIndex struct {
+	Src    NodeID
+	Type   EdgeType
+	Offset int64
+}
+
+// BuildEdgeFile serializes edges into the EdgeFile layout of Figure 2:
+// one record per (src, etype) holding metadata, sorted timestamps,
+// destination IDs and property lists, the latter two ordered to match the
+// timestamps. Records appear in (src, etype) order. The returned index
+// lists every record's key and start offset, in file order.
+func BuildEdgeFile(edges []Edge, schema *PropertySchema) ([]byte, []EdgeRecordIndex, error) {
+	type key struct {
+		src   NodeID
+		etype EdgeType
+	}
+	groups := make(map[key][]Edge)
+	for _, e := range edges {
+		if e.Src < 0 || e.Dst < 0 || e.Type < 0 || e.Timestamp < 0 {
+			return nil, nil, fmt.Errorf("layout: negative ID/type/timestamp in edge %+v", e)
+		}
+		k := key{e.Src, e.Type}
+		groups[k] = append(groups[k], e)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].etype < keys[j].etype
+	})
+	var flat []byte
+	index := make([]EdgeRecordIndex, 0, len(keys))
+	for _, k := range keys {
+		index = append(index, EdgeRecordIndex{Src: k.src, Type: k.etype, Offset: int64(len(flat))})
+		var err error
+		if flat, err = appendEdgeRecord(flat, k.src, k.etype, groups[k], schema); err != nil {
+			return nil, nil, err
+		}
+	}
+	return flat, index, nil
+}
+
+// appendEdgeRecord serializes one EdgeRecord.
+func appendEdgeRecord(flat []byte, src NodeID, etype EdgeType, group []Edge, schema *PropertySchema) ([]byte, error) {
+	sort.SliceStable(group, func(i, j int) bool { return group[i].Timestamp < group[j].Timestamp })
+
+	// Per-record fixed widths (TLength/DLength in Figure 2).
+	tLen, dLen := 1, 1
+	for _, e := range group {
+		if w := FixedWidth(uint64(e.Timestamp)); w > tLen {
+			tLen = w
+		}
+		if w := FixedWidth(uint64(e.Dst)); w > dLen {
+			dLen = w
+		}
+	}
+	// Serialize property lists first to size their length fields.
+	propBlobs := make([][]byte, len(group))
+	pLenW := 1
+	for i, e := range group {
+		blob, err := schema.SerializeProps(nil, e.Props)
+		if err != nil {
+			return nil, fmt.Errorf("layout: edge %d->%d: %w", e.Src, e.Dst, err)
+		}
+		propBlobs[i] = blob
+		if w := FixedWidth(uint64(len(blob))); w > pLenW {
+			pLenW = w
+		}
+	}
+	if tLen > 9 || dLen > 9 || pLenW > 9 {
+		return nil, fmt.Errorf("layout: field width exceeds one digit (tLen=%d dLen=%d pLenW=%d)", tLen, dLen, pLenW)
+	}
+
+	flat = append(flat, RecordKey(src, etype)...)
+	flat = AppendFixed(flat, uint64(len(group)), edgeCountWidth)
+	flat = AppendFixed(flat, uint64(tLen), 1)
+	flat = AppendFixed(flat, uint64(dLen), 1)
+	flat = AppendFixed(flat, uint64(pLenW), 1)
+	for _, e := range group {
+		flat = AppendFixed(flat, uint64(e.Timestamp), tLen)
+	}
+	for _, e := range group {
+		flat = AppendFixed(flat, uint64(e.Dst), dLen)
+	}
+	for _, blob := range propBlobs {
+		flat = AppendFixed(flat, uint64(len(blob)), pLenW)
+	}
+	for _, blob := range propBlobs {
+		flat = append(flat, blob...)
+	}
+	return flat, nil
+}
+
+// EdgeRecordRef is a parsed handle to one EdgeRecord inside an EdgeFile:
+// it caches the metadata so that edge data lookups are pure random
+// accesses (§2.2's EdgeRecord).
+type EdgeRecordRef struct {
+	Src    NodeID
+	Type   EdgeType
+	Offset int64 // of the record's start ($) in the file
+	Count  int
+	TLen   int
+	DLen   int
+	PLenW  int
+
+	tsOff   int // absolute file offset of the timestamp array
+	dstOff  int
+	pLenOff int
+	propOff int
+}
+
+// EdgeFileView executes edge queries over a serialized EdgeFile. As with
+// NodeFileView it is agnostic to whether the source is compressed.
+type EdgeFileView struct {
+	src    ByteSource
+	schema *PropertySchema
+}
+
+// NewEdgeFileView wraps a serialized EdgeFile.
+func NewEdgeFileView(src ByteSource, schema *PropertySchema) *EdgeFileView {
+	return &EdgeFileView{src: src, schema: schema}
+}
+
+// Schema returns the edge property schema.
+func (v *EdgeFileView) Schema() *PropertySchema { return v.schema }
+
+// parseRecordAt parses the EdgeRecord whose key starts at off. keyLen is
+// the length of the $src#etype, key.
+func (v *EdgeFileView) parseRecordAt(off int64, keyLen int, src NodeID, etype EdgeType) (EdgeRecordRef, bool) {
+	meta := v.src.Extract(int(off)+keyLen, metaWidth)
+	if len(meta) < metaWidth {
+		return EdgeRecordRef{}, false
+	}
+	ref := EdgeRecordRef{
+		Src:    src,
+		Type:   etype,
+		Offset: off,
+		Count:  int(DecodeFixed(meta[:edgeCountWidth])),
+		TLen:   int(DecodeFixed(meta[edgeCountWidth : edgeCountWidth+1])),
+		DLen:   int(DecodeFixed(meta[edgeCountWidth+1 : edgeCountWidth+2])),
+		PLenW:  int(DecodeFixed(meta[edgeCountWidth+2 : edgeCountWidth+3])),
+	}
+	ref.tsOff = int(off) + keyLen + metaWidth
+	ref.dstOff = ref.tsOff + ref.Count*ref.TLen
+	ref.pLenOff = ref.dstOff + ref.Count*ref.DLen
+	ref.propOff = ref.pLenOff + ref.Count*ref.PLenW
+	return ref, true
+}
+
+// GetEdgeRecord locates the EdgeRecord for (src, etype) via
+// search($src#etype,) — §3.4. Returns false if the record does not
+// exist in this file.
+func (v *EdgeFileView) GetEdgeRecord(src NodeID, etype EdgeType) (EdgeRecordRef, bool) {
+	key := RecordKey(src, etype)
+	offs := v.src.Search(key)
+	if len(offs) == 0 {
+		return EdgeRecordRef{}, false
+	}
+	// The key is unique per file by construction.
+	return v.parseRecordAt(offs[0], len(key), src, etype)
+}
+
+// GetEdgeRecords returns the EdgeRecords of every EdgeType incident on
+// src present in this file (wildcard EdgeType).
+func (v *EdgeFileView) GetEdgeRecords(src NodeID) []EdgeRecordRef {
+	prefix := NodeKeyPrefix(src)
+	offs := v.src.Search(prefix)
+	refs := make([]EdgeRecordRef, 0, len(offs))
+	for _, off := range offs {
+		// Read the etype digits and the ',' terminator.
+		tail := v.src.Extract(int(off)+len(prefix), 20)
+		comma := -1
+		for i, b := range tail {
+			if b == ',' {
+				comma = i
+				break
+			}
+		}
+		if comma < 0 {
+			continue
+		}
+		etype, err := strconv.ParseInt(string(tail[:comma]), 10, 64)
+		if err != nil {
+			continue
+		}
+		if ref, ok := v.parseRecordAt(off, len(prefix)+comma+1, src, etype); ok {
+			refs = append(refs, ref)
+		}
+	}
+	return refs
+}
+
+// Timestamp returns the i-th (time-ordered) edge's timestamp.
+func (v *EdgeFileView) Timestamp(ref EdgeRecordRef, i int) int64 {
+	return int64(DecodeFixed(v.src.Extract(ref.tsOff+i*ref.TLen, ref.TLen)))
+}
+
+// Destination returns the i-th edge's destination node ID.
+func (v *EdgeFileView) Destination(ref EdgeRecordRef, i int) NodeID {
+	return NodeID(DecodeFixed(v.src.Extract(ref.dstOff+i*ref.DLen, ref.DLen)))
+}
+
+// Destinations returns all destination IDs of the record in time order,
+// in one extract (used by neighbor queries).
+func (v *EdgeFileView) Destinations(ref EdgeRecordRef) []NodeID {
+	raw := v.src.Extract(ref.dstOff, ref.Count*ref.DLen)
+	out := make([]NodeID, 0, ref.Count)
+	for i := 0; i+ref.DLen <= len(raw); i += ref.DLen {
+		out = append(out, NodeID(DecodeFixed(raw[i:i+ref.DLen])))
+	}
+	return out
+}
+
+// propLocation returns the absolute offset and length of the i-th edge's
+// serialized property list by prefix-summing the length array.
+func (v *EdgeFileView) propLocation(ref EdgeRecordRef, i int) (int, int) {
+	raw := v.src.Extract(ref.pLenOff, (i+1)*ref.PLenW)
+	off := ref.propOff
+	for k := 0; k < i; k++ {
+		off += int(DecodeFixed(raw[k*ref.PLenW : (k+1)*ref.PLenW]))
+	}
+	n := int(DecodeFixed(raw[i*ref.PLenW : (i+1)*ref.PLenW]))
+	return off, n
+}
+
+// EdgeData is the triplet stored per edge (§2.2).
+type EdgeData struct {
+	Dst       NodeID
+	Timestamp int64
+	Props     map[string]string
+}
+
+// GetEdgeData returns the i-th edge's (destination, timestamp,
+// property list) — §2.2's get_edge_data, with i being the TimeOrder.
+func (v *EdgeFileView) GetEdgeData(ref EdgeRecordRef, i int) (EdgeData, error) {
+	if i < 0 || i >= ref.Count {
+		return EdgeData{}, fmt.Errorf("layout: time order %d out of range [0,%d)", i, ref.Count)
+	}
+	d := EdgeData{
+		Dst:       v.Destination(ref, i),
+		Timestamp: v.Timestamp(ref, i),
+	}
+	off, n := v.propLocation(ref, i)
+	if n > 0 {
+		blob := v.src.Extract(off, n)
+		props, _, err := v.schema.ParseProps(blob)
+		if err != nil {
+			return EdgeData{}, fmt.Errorf("layout: edge %d/%d props: %w", ref.Src, i, err)
+		}
+		d.Props = props
+	}
+	return d, nil
+}
+
+// TimeRange returns the half-open TimeOrder range [beg, end) of edges
+// with timestamps in [tLo, tHi), via binary search over the sorted
+// timestamp array (§3.3's motivation for sorted fixed-width timestamps).
+func (v *EdgeFileView) TimeRange(ref EdgeRecordRef, tLo, tHi int64) (int, int) {
+	beg := sort.Search(ref.Count, func(i int) bool { return v.Timestamp(ref, i) >= tLo })
+	end := sort.Search(ref.Count, func(i int) bool { return v.Timestamp(ref, i) >= tHi })
+	return beg, end
+}
+
+// FindEdges returns the (record, TimeOrder) locations of edges whose
+// property lists exactly match every (propertyID, value) pair — the edge
+// counterpart of NodeFileView.FindNodes, realized exactly as §3.3
+// sketches: each value is searched wrapped in its delimiters, hits are
+// mapped to records via the record-offset index, and the TimeOrder is
+// recovered from the hit's position inside the record's property area.
+// index must be the file's record index (from BuildEdgeFile), in file
+// order.
+func (v *EdgeFileView) FindEdges(index []EdgeRecordIndex, props map[string]string) []EdgeMatch {
+	if len(props) == 0 {
+		return nil
+	}
+	starts := make([]int64, len(index))
+	for i, r := range index {
+		starts[i] = r.Offset
+	}
+	var result map[EdgeMatch]int
+	needed := 0
+	for pid, val := range props {
+		order := v.schema.Order(pid)
+		if order < 0 {
+			return nil
+		}
+		needed++
+		pattern := append([]byte(nil), v.schema.Delimiter(order)...)
+		pattern = append(pattern, val...)
+		pattern = append(pattern, v.schema.NextDelimiter(order)...)
+		for _, off := range v.src.Search(pattern) {
+			ri := offsetToIndex(starts, off)
+			if ri < 0 {
+				continue
+			}
+			rec, ok := v.parseRecordAt(index[ri].Offset, len(RecordKey(index[ri].Src, index[ri].Type)), index[ri].Src, index[ri].Type)
+			if !ok {
+				continue
+			}
+			order, ok := v.timeOrderOfPropOffset(rec, off)
+			if !ok {
+				continue
+			}
+			m := EdgeMatch{Src: rec.Src, Type: rec.Type, TimeOrder: order}
+			if result == nil {
+				result = make(map[EdgeMatch]int)
+			}
+			result[m]++
+		}
+	}
+	var out []EdgeMatch
+	for m, hits := range result {
+		if hits == needed { // conjunction across property pairs
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].TimeOrder < out[j].TimeOrder
+	})
+	return out
+}
+
+// EdgeMatch identifies one edge by its record and TimeOrder.
+type EdgeMatch struct {
+	Src       NodeID
+	Type      EdgeType
+	TimeOrder int
+}
+
+// timeOrderOfPropOffset maps a file offset inside a record's property
+// area to the TimeOrder of the edge whose serialized property list
+// contains it.
+func (v *EdgeFileView) timeOrderOfPropOffset(ref EdgeRecordRef, off int64) (int, bool) {
+	if off < int64(ref.propOff) {
+		return 0, false
+	}
+	raw := v.src.Extract(ref.pLenOff, ref.Count*ref.PLenW)
+	pos := int64(ref.propOff)
+	for i := 0; i < ref.Count; i++ {
+		n := int64(DecodeFixed(raw[i*ref.PLenW : (i+1)*ref.PLenW]))
+		if off < pos+n {
+			return i, true
+		}
+		pos += n
+	}
+	return 0, false
+}
+
+// RecordEnd returns the file offset just past the record (useful for
+// tests and compaction).
+func (v *EdgeFileView) RecordEnd(ref EdgeRecordRef) int64 {
+	off := ref.propOff
+	raw := v.src.Extract(ref.pLenOff, ref.Count*ref.PLenW)
+	for k := 0; k*ref.PLenW+ref.PLenW <= len(raw); k++ {
+		off += int(DecodeFixed(raw[k*ref.PLenW : (k+1)*ref.PLenW]))
+	}
+	return int64(off)
+}

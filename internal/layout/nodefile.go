@@ -1,0 +1,231 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"zipg/internal/memsim"
+)
+
+// NodeID identifies a node. EdgeType tags an edge with its kind (§2.1).
+type NodeID = int64
+
+// EdgeType identifies the kind of an edge (comment, like, friendship...).
+type EdgeType = int64
+
+// Node is a node with its property list, the unit of NodeFile input.
+type Node struct {
+	ID    NodeID
+	Props map[string]string
+}
+
+// BuildNodeFile serializes nodes into the NodeFile flat layout of
+// Figure 1 and returns the flat file plus the sorted (NodeID, offset)
+// index — the layout's "third data structure". Node order in the file is
+// ascending NodeID.
+func BuildNodeFile(nodes []Node, schema *PropertySchema) (flat []byte, ids []NodeID, offsets []int64, err error) {
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].ID == sorted[i-1].ID {
+			return nil, nil, nil, fmt.Errorf("layout: duplicate node ID %d", sorted[i].ID)
+		}
+	}
+	ids = make([]NodeID, len(sorted))
+	offsets = make([]int64, len(sorted))
+	for i, n := range sorted {
+		ids[i] = n.ID
+		offsets[i] = int64(len(flat))
+		if flat, err = schema.SerializeProps(flat, n.Props); err != nil {
+			return nil, nil, nil, fmt.Errorf("layout: node %d: %w", n.ID, err)
+		}
+	}
+	return flat, ids, offsets, nil
+}
+
+// NodeFileView executes node queries over a serialized NodeFile (§3.4).
+// The same view works over a compressed succinct source (immutable
+// shards) or raw bytes (LogStore).
+type NodeFileView struct {
+	src     ByteSource
+	schema  *PropertySchema
+	ids     []NodeID
+	offsets []int64
+
+	med *memsim.Medium
+	reg uint32 // region for the (NodeID, offset) index
+}
+
+// NewNodeFileView wraps a serialized NodeFile. ids/offsets must be
+// parallel and sorted by ID. The index's footprint is charged to med
+// (nil = unlimited).
+func NewNodeFileView(src ByteSource, schema *PropertySchema, ids []NodeID, offsets []int64, med *memsim.Medium) *NodeFileView {
+	if med == nil {
+		med = memsim.Unlimited()
+	}
+	return &NodeFileView{
+		src:     src,
+		schema:  schema,
+		ids:     ids,
+		offsets: offsets,
+		med:     med,
+		reg:     med.Register(int64(len(ids)) * 16),
+	}
+}
+
+// NumNodes returns the number of nodes in the file.
+func (v *NodeFileView) NumNodes() int { return len(v.ids) }
+
+// Schema returns the node property schema.
+func (v *NodeFileView) Schema() *PropertySchema { return v.schema }
+
+// IDs returns the sorted node IDs backing the view.
+func (v *NodeFileView) IDs() []NodeID { return v.ids }
+
+// Offsets returns the per-node record offsets parallel to IDs.
+func (v *NodeFileView) Offsets() []int64 { return v.offsets }
+
+// Contains reports whether the file holds a record for id.
+func (v *NodeFileView) Contains(id NodeID) bool { return v.indexOf(id) >= 0 }
+
+// indexOf returns the index of id in the sorted index, or -1.
+func (v *NodeFileView) indexOf(id NodeID) int {
+	k := sort.Search(len(v.ids), func(i int) bool { return v.ids[i] >= id })
+	// Charge the binary search's touches on the index.
+	v.med.Access(v.reg, int64(k)*16, 16)
+	if k < len(v.ids) && v.ids[k] == id {
+		return k
+	}
+	return -1
+}
+
+// GetProperty returns the value of one property for a node and whether
+// the node exists and has the property. Per §3.4 this costs the index
+// lookup, the length-header bytes, and one extract of the value itself.
+func (v *NodeFileView) GetProperty(id NodeID, propertyID string) (string, bool) {
+	k := v.indexOf(id)
+	if k < 0 {
+		return "", false
+	}
+	order := v.schema.Order(propertyID)
+	if order < 0 {
+		return "", false
+	}
+	base := int(v.offsets[k])
+	hdr := v.src.Extract(base, v.schema.headerSize())
+	if len(hdr) < v.schema.headerSize() {
+		return "", false
+	}
+	lengths := v.schema.decodeLengths(hdr)
+	if lengths[order] == 0 {
+		return "", false
+	}
+	off, n := v.schema.valueLocation(lengths, order)
+	return string(v.src.Extract(base+off, n)), true
+}
+
+// GetProperties returns the values for the given property IDs; absent
+// properties yield empty strings. A nil or empty propertyIDs slice is the
+// wildcard: all properties in schema order (paper §2.2).
+func (v *NodeFileView) GetProperties(id NodeID, propertyIDs []string) ([]string, bool) {
+	k := v.indexOf(id)
+	if k < 0 {
+		return nil, false
+	}
+	base := int(v.offsets[k])
+	hdr := v.src.Extract(base, v.schema.headerSize())
+	if len(hdr) < v.schema.headerSize() {
+		return nil, false
+	}
+	lengths := v.schema.decodeLengths(hdr)
+	if len(propertyIDs) == 0 {
+		propertyIDs = v.schema.IDs()
+	}
+	out := make([]string, len(propertyIDs))
+	for i, pid := range propertyIDs {
+		order := v.schema.Order(pid)
+		if order < 0 || lengths[order] == 0 {
+			continue
+		}
+		off, n := v.schema.valueLocation(lengths, order)
+		out[i] = string(v.src.Extract(base+off, n))
+	}
+	return out, true
+}
+
+// GetAllProps returns the node's full property map.
+func (v *NodeFileView) GetAllProps(id NodeID) (map[string]string, bool) {
+	k := v.indexOf(id)
+	if k < 0 {
+		return nil, false
+	}
+	vals, _ := v.GetProperties(id, nil)
+	props := make(map[string]string)
+	for i, pid := range v.schema.IDs() {
+		if vals[i] != "" {
+			props[pid] = vals[i]
+		}
+	}
+	return props, true
+}
+
+// FindNodes returns the IDs of all nodes whose properties exactly match
+// every (propertyID, value) pair (§3.4's get_node_ids): each value is
+// wrapped in its property's delimiter and the next delimiter, located
+// with the search primitive, and translated back to node IDs via binary
+// search over the offset index. Multiple pairs intersect.
+func (v *NodeFileView) FindNodes(props map[string]string) []NodeID {
+	if len(props) == 0 {
+		return nil
+	}
+	var result map[NodeID]bool
+	for pid, val := range props {
+		order := v.schema.Order(pid)
+		if order < 0 {
+			return nil
+		}
+		pattern := append([]byte(nil), v.schema.Delimiter(order)...)
+		pattern = append(pattern, val...)
+		pattern = append(pattern, v.schema.NextDelimiter(order)...)
+		matches := v.src.Search(pattern)
+		ids := make(map[NodeID]bool, len(matches))
+		for _, off := range matches {
+			k := offsetToIndex(v.offsets, off)
+			v.med.Access(v.reg, int64(k)*16, 16)
+			if k >= 0 {
+				ids[v.ids[k]] = true
+			}
+		}
+		if result == nil {
+			result = ids
+		} else {
+			for id := range result {
+				if !ids[id] {
+					delete(result, id)
+				}
+			}
+		}
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	out := make([]NodeID, 0, len(result))
+	for id := range result {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MatchesProps reports whether node id has every given property value
+// (used by get_neighbor_ids' filter step, which checks each neighbor
+// instead of joining — §2.2).
+func (v *NodeFileView) MatchesProps(id NodeID, props map[string]string) bool {
+	for pid, val := range props {
+		got, ok := v.GetProperty(id, pid)
+		if !ok || got != val {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+// Package layout implements ZipG's graph representation (§3.3 of the
+// paper): the NodeFile and EdgeFile flat-file layouts, the delimiter
+// scheme for property IDs, and the fixed-width numeric encodings that
+// trade uncompressed size for random access into the compressed form.
+//
+// Layout views are written against a ByteSource abstraction so the exact
+// same query code runs over a compressed succinct store (immutable
+// shards) and over raw append-only bytes (the query-optimized LogStore of
+// §3.5).
+package layout
+
+import (
+	"bytes"
+	"sort"
+
+	"zipg/internal/memsim"
+	"zipg/internal/succinct"
+)
+
+// ByteSource is the storage primitive the NodeFile/EdgeFile views query:
+// random access (extract) and substring search, per Succinct's interface
+// (§3.1).
+type ByteSource interface {
+	// Extract returns up to n bytes starting at off (truncated at EOF).
+	Extract(off, n int) []byte
+	// Search returns the offsets of all occurrences of pattern, ascending.
+	Search(pattern []byte) []int64
+	// Count returns the number of occurrences of pattern.
+	Count(pattern []byte) int
+	// InputLen returns the length of the underlying flat file.
+	InputLen() int
+}
+
+// Compile-time check: the succinct store satisfies ByteSource.
+var _ ByteSource = (*succinct.Store)(nil)
+
+// RawSource is an uncompressed ByteSource over a plain byte slice,
+// charging a simulated medium for every touch. The LogStore and the
+// baselines use it; it is also handy in tests as ground truth against the
+// compressed path.
+type RawSource struct {
+	data []byte
+	med  *memsim.Medium
+	reg  uint32
+}
+
+// NewRawSource places data on med (nil = unlimited medium).
+func NewRawSource(data []byte, med *memsim.Medium) *RawSource {
+	if med == nil {
+		med = memsim.Unlimited()
+	}
+	return &RawSource{data: data, med: med, reg: med.Register(int64(len(data)))}
+}
+
+// Append adds bytes to the source (LogStore growth) and returns the
+// offset at which they were written.
+func (r *RawSource) Append(b []byte) int64 {
+	off := int64(len(r.data))
+	r.data = append(r.data, b...)
+	r.med.Grow(int64(len(b)))
+	return off
+}
+
+// Extract implements ByteSource.
+func (r *RawSource) Extract(off, n int) []byte {
+	if off < 0 || off >= len(r.data) || n <= 0 {
+		return nil
+	}
+	end := off + n
+	if end > len(r.data) {
+		end = len(r.data)
+	}
+	r.med.Access(r.reg, int64(off), int64(end-off))
+	return r.data[off:end]
+}
+
+// Search implements ByteSource by linear scan. The scan charges the
+// medium for the full pass — this is exactly the cost profile the paper
+// ascribes to scanning uncompressed logs, and why the LogStore keeps
+// explicit offset pointers to avoid calling this.
+func (r *RawSource) Search(pattern []byte) []int64 {
+	if len(pattern) == 0 {
+		return nil
+	}
+	r.med.Access(r.reg, 0, int64(len(r.data)))
+	var out []int64
+	for i := 0; ; {
+		k := bytes.Index(r.data[i:], pattern)
+		if k < 0 {
+			break
+		}
+		out = append(out, int64(i+k))
+		i += k + 1
+	}
+	return out
+}
+
+// Count implements ByteSource.
+func (r *RawSource) Count(pattern []byte) int { return len(r.Search(pattern)) }
+
+// InputLen implements ByteSource.
+func (r *RawSource) InputLen() int { return len(r.data) }
+
+// Bytes exposes the raw backing slice (used when freezing a LogStore
+// into a compressed shard).
+func (r *RawSource) Bytes() []byte { return r.data }
+
+// offsetToIndex translates a flat-file offset to the index of the record
+// containing it, given the sorted record start offsets: the greatest i
+// with starts[i] <= off.
+func offsetToIndex(starts []int64, off int64) int {
+	i := sort.Search(len(starts), func(k int) bool { return starts[k] > off })
+	return i - 1
+}

@@ -1,0 +1,275 @@
+// Package logstore implements ZipG's write path (§3.5): a single
+// query-optimized (rather than memory-optimized) LogStore that absorbs
+// all writes. When its size crosses a threshold, the store freezes it
+// into a compressed shard and starts a new one — the previously
+// compressed data is never touched, which is what keeps writes from
+// interfering with reads on compressed shards.
+//
+// "Query-optimized" here means native hash maps and slices with direct
+// lookups; the price is the memory overhead factor below, which is
+// exactly the trade the paper makes by dedicating one server to the
+// LogStore.
+package logstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"zipg/internal/layout"
+	"zipg/internal/memsim"
+)
+
+// QueryOptimizedOverhead approximates the space blow-up of the pointer-
+// rich in-memory representation relative to the serialized layout. It is
+// charged to the medium so footprint comparisons stay honest.
+const QueryOptimizedOverhead = 2
+
+type edgeKey struct {
+	Src  layout.NodeID
+	Type layout.EdgeType
+}
+
+// LogStore is a mutable, uncompressed graph fragment. It is safe for
+// concurrent use.
+type LogStore struct {
+	nodeSchema *layout.PropertySchema
+	edgeSchema *layout.PropertySchema
+	med        *memsim.Medium
+	gen        int
+
+	mu    sync.RWMutex
+	nodes map[layout.NodeID]map[string]string
+	edges map[edgeKey][]layout.Edge
+	size  int64 // serialized-equivalent bytes absorbed so far
+}
+
+// New creates an empty LogStore with the given generation number (its
+// position in the store's fragment chain).
+func New(nodeSchema, edgeSchema *layout.PropertySchema, med *memsim.Medium, gen int) *LogStore {
+	if med == nil {
+		med = memsim.Unlimited()
+	}
+	return &LogStore{
+		nodeSchema: nodeSchema,
+		edgeSchema: edgeSchema,
+		med:        med,
+		gen:        gen,
+		nodes:      make(map[layout.NodeID]map[string]string),
+		edges:      make(map[edgeKey][]layout.Edge),
+	}
+}
+
+// Gen returns the LogStore's generation number.
+func (l *LogStore) Gen() int { return l.gen }
+
+// Size returns the serialized-equivalent bytes absorbed so far (what the
+// rollover threshold is compared against).
+func (l *LogStore) Size() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.size
+}
+
+// AddNode inserts or replaces the node's property list.
+func (l *LogStore) AddNode(id layout.NodeID, props map[string]string) error {
+	if id < 0 {
+		return fmt.Errorf("logstore: negative node ID %d", id)
+	}
+	// Validate against the schema before mutating.
+	if _, err := l.nodeSchema.SerializeProps(nil, props); err != nil {
+		return err
+	}
+	cp := make(map[string]string, len(props))
+	for k, v := range props {
+		cp[k] = v
+	}
+	grow := int64(l.nodeSchema.PropsEncodedSize(props)) * QueryOptimizedOverhead
+	l.mu.Lock()
+	l.nodes[id] = cp
+	l.size += grow
+	l.mu.Unlock()
+	l.med.Grow(grow)
+	return nil
+}
+
+// AddEdge appends one edge.
+func (l *LogStore) AddEdge(e layout.Edge) error {
+	if e.Src < 0 || e.Dst < 0 || e.Type < 0 || e.Timestamp < 0 {
+		return fmt.Errorf("logstore: negative field in edge %+v", e)
+	}
+	blob, err := l.edgeSchema.SerializeProps(nil, e.Props)
+	if err != nil {
+		return err
+	}
+	grow := int64(len(blob)+24) * QueryOptimizedOverhead
+	k := edgeKey{e.Src, e.Type}
+	l.mu.Lock()
+	l.edges[k] = append(l.edges[k], e)
+	l.size += grow
+	l.mu.Unlock()
+	l.med.Grow(grow)
+	return nil
+}
+
+// RemoveNode drops a node's properties from this fragment (used when the
+// node is deleted while its latest version still lives here).
+func (l *LogStore) RemoveNode(id layout.NodeID) {
+	l.mu.Lock()
+	delete(l.nodes, id)
+	l.mu.Unlock()
+}
+
+// RemoveEdges drops all (src, etype, dst) edges from this fragment and
+// reports how many were removed.
+func (l *LogStore) RemoveEdges(src layout.NodeID, etype layout.EdgeType, dst layout.NodeID) int {
+	k := edgeKey{src, etype}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	es := l.edges[k]
+	kept := es[:0]
+	removed := 0
+	for _, e := range es {
+		if e.Dst == dst {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed > 0 {
+		if len(kept) == 0 {
+			delete(l.edges, k)
+		} else {
+			l.edges[k] = kept
+		}
+	}
+	return removed
+}
+
+// HasNode reports whether this fragment holds a property record for id.
+func (l *LogStore) HasNode(id layout.NodeID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.nodes[id]
+	return ok
+}
+
+// NodeProps returns a copy of the node's properties.
+func (l *LogStore) NodeProps(id layout.NodeID) (map[string]string, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	props, ok := l.nodes[id]
+	if !ok {
+		return nil, false
+	}
+	cp := make(map[string]string, len(props))
+	for k, v := range props {
+		cp[k] = v
+	}
+	return cp, true
+}
+
+// FindNodes returns IDs of nodes in this fragment matching all property
+// pairs exactly, ascending.
+func (l *LogStore) FindNodes(props map[string]string) []layout.NodeID {
+	if len(props) == 0 {
+		return nil
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []layout.NodeID
+	for id, np := range l.nodes {
+		match := true
+		for k, v := range props {
+			if np[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeEntries returns the fragment's (src, etype) edges sorted by
+// timestamp.
+func (l *LogStore) EdgeEntries(src layout.NodeID, etype layout.EdgeType) []layout.Edge {
+	l.mu.RLock()
+	es := l.edges[edgeKey{src, etype}]
+	cp := append([]layout.Edge(nil), es...)
+	l.mu.RUnlock()
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Timestamp < cp[j].Timestamp })
+	return cp
+}
+
+// EdgeTypes returns the distinct edge types with entries for src.
+func (l *LogStore) EdgeTypes(src layout.NodeID) []layout.EdgeType {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []layout.EdgeType
+	for k, es := range l.edges {
+		if k.Src == src && len(es) > 0 {
+			out = append(out, k.Type)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contents snapshots everything in the fragment for freezing into a
+// compressed shard.
+func (l *LogStore) Contents() ([]layout.Node, []layout.Edge) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	nodes := make([]layout.Node, 0, len(l.nodes))
+	for id, props := range l.nodes {
+		cp := make(map[string]string, len(props))
+		for k, v := range props {
+			cp[k] = v
+		}
+		nodes = append(nodes, layout.Node{ID: id, Props: cp})
+	}
+	var edges []layout.Edge
+	for _, es := range l.edges {
+		edges = append(edges, es...)
+	}
+	return nodes, edges
+}
+
+// FindEdges returns this fragment's edges whose property lists match all
+// pairs exactly (the edge-search extension; §3.3).
+func (l *LogStore) FindEdges(props map[string]string) []layout.Edge {
+	if len(props) == 0 {
+		return nil
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []layout.Edge
+	for _, es := range l.edges {
+		for _, e := range es {
+			match := true
+			for k, v := range props {
+				if e.Props[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Timestamp < out[j].Timestamp
+	})
+	return out
+}

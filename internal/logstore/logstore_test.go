@@ -1,0 +1,161 @@
+package logstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"zipg/internal/layout"
+)
+
+func testLog(t testing.TB) *LogStore {
+	t.Helper()
+	ns, err := layout.NewPropertySchema([]string{"a", "b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := layout.NewPropertySchema([]string{"w"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ns, es, nil, 3)
+}
+
+func TestNodeLifecycle(t *testing.T) {
+	l := testLog(t)
+	if l.Gen() != 3 {
+		t.Fatalf("gen = %d", l.Gen())
+	}
+	if err := l.AddNode(7, map[string]string{"a": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !l.HasNode(7) || l.HasNode(8) {
+		t.Fatal("HasNode wrong")
+	}
+	props, ok := l.NodeProps(7)
+	if !ok || props["a"] != "x" {
+		t.Fatalf("NodeProps = %v", props)
+	}
+	// Replacement.
+	if err := l.AddNode(7, map[string]string{"b": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	props, _ = l.NodeProps(7)
+	if props["a"] != "" || props["b"] != "y" {
+		t.Fatalf("replace failed: %v", props)
+	}
+	l.RemoveNode(7)
+	if l.HasNode(7) {
+		t.Fatal("RemoveNode failed")
+	}
+	// Validation.
+	if err := l.AddNode(1, map[string]string{"nope": "x"}); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+	if err := l.AddNode(-1, nil); err == nil {
+		t.Fatal("negative ID accepted")
+	}
+}
+
+func TestEdgeLifecycle(t *testing.T) {
+	l := testLog(t)
+	for i := 0; i < 10; i++ {
+		err := l.AddEdge(layout.Edge{Src: 1, Dst: int64(i), Type: 0, Timestamp: int64(100 - i*10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := l.EdgeEntries(1, 0)
+	if len(es) != 10 {
+		t.Fatalf("entries = %d", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].Timestamp < es[i-1].Timestamp {
+			t.Fatal("entries unsorted")
+		}
+	}
+	if got := l.EdgeTypes(1); !reflect.DeepEqual(got, []layout.EdgeType{0}) {
+		t.Fatalf("EdgeTypes = %v", got)
+	}
+	if removed := l.RemoveEdges(1, 0, 5); removed != 1 {
+		t.Fatalf("removed %d", removed)
+	}
+	if len(l.EdgeEntries(1, 0)) != 9 {
+		t.Fatal("remove did not shrink")
+	}
+	if err := l.AddEdge(layout.Edge{Src: 1, Dst: -1}); err == nil {
+		t.Fatal("negative dst accepted")
+	}
+}
+
+func TestFindNodes(t *testing.T) {
+	l := testLog(t)
+	for i := 0; i < 10; i++ {
+		v := "odd"
+		if i%2 == 0 {
+			v = "even"
+		}
+		if err := l.AddNode(int64(i), map[string]string{"a": v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := l.FindNodes(map[string]string{"a": "even"})
+	if !reflect.DeepEqual(got, []layout.NodeID{0, 2, 4, 6, 8}) {
+		t.Fatalf("FindNodes = %v", got)
+	}
+	if l.FindNodes(nil) != nil {
+		t.Fatal("empty filter should return nil")
+	}
+}
+
+func TestSizeGrowsAndContents(t *testing.T) {
+	l := testLog(t)
+	if l.Size() != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.AddNode(int64(i), map[string]string{"a": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AddEdge(layout.Edge{Src: int64(i), Dst: 0, Type: 0, Timestamp: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Size() == 0 {
+		t.Fatal("size did not grow")
+	}
+	nodes, edges := l.Contents()
+	if len(nodes) != 20 || len(edges) != 20 {
+		t.Fatalf("contents = %d nodes, %d edges", len(nodes), len(edges))
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	l := testLog(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := int64(g*1000 + i)
+				if err := l.AddNode(id, map[string]string{"a": "v"}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.AddEdge(layout.Edge{Src: id % 7, Dst: id, Type: 0, Timestamp: id}); err != nil {
+					t.Error(err)
+					return
+				}
+				l.NodeProps(id)
+				l.EdgeEntries(id%7, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	nodes, edges := l.Contents()
+	if len(nodes) != 800 || len(edges) != 800 {
+		t.Fatalf("after concurrent use: %d nodes, %d edges", len(nodes), len(edges))
+	}
+}

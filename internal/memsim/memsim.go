@@ -1,0 +1,332 @@
+// Package memsim simulates a two-level storage hierarchy (DRAM + SSD).
+//
+// The paper's headline experiments depend on datasets outgrowing a 244 GB
+// server: once a store's footprint exceeds memory, queries spill to SSD
+// and throughput collapses in proportion to how much of the working set
+// is cold. We cannot provision half-terabyte datasets here, so every
+// store in this repository routes its logical byte accesses through a
+// Medium: an LRU page cache with a configurable byte budget in front of a
+// fixed-latency backing device. Cache hits are free; misses advance a
+// virtual clock by the device latency. Benchmarks report throughput
+// against wall time plus this virtual I/O time, which reproduces the
+// paper's in-memory/out-of-memory crossovers at megabyte scale.
+//
+// A Medium with an unlimited budget is a near-no-op, so correctness tests
+// run at full speed.
+package memsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultPageSize is the cache page size in bytes. 4 KiB matches both the
+// OS page size the paper's mmap-based persistence relies on and typical
+// SSD read granularity.
+const DefaultPageSize = 4096
+
+// DefaultMissLatency approximates one random 4 KiB read from a local SSD
+// (the paper's instances used local SSDs, ~100 µs per random read).
+const DefaultMissLatency = 100 * time.Microsecond
+
+// Clock accumulates simulated I/O time. It is shared by all media of one
+// system-under-test so a benchmark can charge total simulated stall time
+// against the operations it executed.
+type Clock struct {
+	ns atomic.Int64
+}
+
+// Advance adds d to the simulated elapsed time.
+func (c *Clock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// Elapsed returns the accumulated simulated time.
+func (c *Clock) Elapsed() time.Duration { return time.Duration(c.ns.Load()) }
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.ns.Store(0) }
+
+// Stats holds access counters for a Medium.
+type Stats struct {
+	Accesses uint64 // page touches
+	Misses   uint64 // page touches that went to the backing device
+}
+
+// Medium models the storage a single store's data lives on. Regions of
+// the logical address space are registered up front (one per data
+// structure); accesses name a region, an offset and a length. Pages are
+// cached in an LRU bounded by Budget; a miss charges MissLatency to the
+// clock.
+//
+// Medium is safe for concurrent use.
+type Medium struct {
+	clock       *Clock
+	pageSize    int64
+	missLatency time.Duration
+
+	mu        sync.Mutex
+	budget    int64 // bytes; <0 means unlimited (never miss)
+	nextID    uint32
+	footprint int64
+
+	// LRU over pages. Key packs (region, pageIndex).
+	cache    map[pageKey]*pageNode
+	head     *pageNode // most recently used
+	tail     *pageNode // least recently used
+	cached   int64     // bytes currently cached
+	accesses uint64
+	misses   uint64
+	// silent makes accesses update cache state without counting stats or
+	// advancing the clock — benchmarks use it to apply realistic cache
+	// pressure from untimed background operations.
+	silent bool
+}
+
+type pageKey struct {
+	region uint32
+	page   int64
+}
+
+type pageNode struct {
+	key        pageKey
+	prev, next *pageNode
+}
+
+// Config parameterizes a Medium.
+type Config struct {
+	// Budget is the DRAM budget in bytes. Negative means unlimited.
+	Budget int64
+	// PageSize defaults to DefaultPageSize.
+	PageSize int64
+	// MissLatency defaults to DefaultMissLatency.
+	MissLatency time.Duration
+}
+
+// NewMedium creates a Medium charging misses to clock. A nil clock gets a
+// private one.
+func NewMedium(clock *Clock, cfg Config) *Medium {
+	if clock == nil {
+		clock = &Clock{}
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.MissLatency <= 0 {
+		cfg.MissLatency = DefaultMissLatency
+	}
+	return &Medium{
+		clock:       clock,
+		pageSize:    cfg.PageSize,
+		missLatency: cfg.MissLatency,
+		budget:      cfg.Budget,
+		cache:       make(map[pageKey]*pageNode),
+	}
+}
+
+// Unlimited returns a medium that never misses; use in correctness tests.
+func Unlimited() *Medium {
+	return NewMedium(nil, Config{Budget: -1})
+}
+
+// Clock returns the clock this medium charges.
+func (m *Medium) Clock() *Clock { return m.clock }
+
+// Register reserves a new region of the given size and returns its ID.
+// The size contributes to the medium's total footprint (what Figure 5
+// measures).
+func (m *Medium) Register(size int64) uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.footprint += size
+	return id
+}
+
+// Grow adds size bytes to a region's accounted footprint (used by
+// append-only structures such as the LogStore and update pointers).
+func (m *Medium) Grow(size int64) {
+	m.mu.Lock()
+	m.footprint += size
+	m.mu.Unlock()
+}
+
+// Footprint returns the total registered bytes.
+func (m *Medium) Footprint() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.footprint
+}
+
+// SetBudget changes the DRAM budget. Shrinking evicts immediately.
+func (m *Medium) SetBudget(budget int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = budget
+	if budget >= 0 {
+		m.evictToBudgetLocked()
+	}
+}
+
+// Budget returns the current DRAM budget (<0 = unlimited).
+func (m *Medium) Budget() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budget
+}
+
+// Access touches n logical bytes of region starting at off, charging
+// misses for uncached pages. n<=0 is treated as a single-byte touch.
+func (m *Medium) Access(region uint32, off, n int64) {
+	if n <= 0 {
+		n = 1
+	}
+	first := off / m.pageSize
+	last := (off + n - 1) / m.pageSize
+	var misses int
+	m.mu.Lock()
+	if m.budget < 0 {
+		// Unlimited: count accesses only; never miss.
+		if !m.silent {
+			m.accesses += uint64(last - first + 1)
+		}
+		m.mu.Unlock()
+		return
+	}
+	for p := first; p <= last; p++ {
+		if !m.silent {
+			m.accesses++
+		}
+		k := pageKey{region, p}
+		if node, ok := m.cache[k]; ok {
+			m.moveToFrontLocked(node)
+			continue
+		}
+		if !m.silent {
+			m.misses++
+			misses++
+		}
+		node := &pageNode{key: k}
+		m.cache[k] = node
+		m.pushFrontLocked(node)
+		m.cached += m.pageSize
+		m.evictToBudgetLocked()
+	}
+	m.mu.Unlock()
+	if misses > 0 {
+		m.clock.Advance(time.Duration(misses) * m.missLatency)
+	}
+}
+
+// SetSilent toggles silent mode: accesses keep mutating the cache (pages
+// load and evict) but stats and the clock stay untouched.
+func (m *Medium) SetSilent(silent bool) {
+	m.mu.Lock()
+	m.silent = silent
+	m.mu.Unlock()
+}
+
+// ChargeCPU advances the clock by a modeled CPU cost (per-record or
+// per-request constants in the baselines). Like Access, it is a no-op in
+// silent mode so background cache pressure costs nothing.
+func (m *Medium) ChargeCPU(d time.Duration) {
+	m.mu.Lock()
+	silent := m.silent
+	m.mu.Unlock()
+	if !silent {
+		m.clock.Advance(d)
+	}
+}
+
+// Probe reports whether the page containing (region, off) is currently
+// cached, without touching LRU state or stats. On an unlimited medium it
+// always reports true. Stores use it to pick between a hot in-memory
+// path and a cold direct-I/O path.
+func (m *Medium) Probe(region uint32, off int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.budget < 0 {
+		return true
+	}
+	_, ok := m.cache[pageKey{region, off / m.pageSize}]
+	return ok
+}
+
+// ChargeDirect models a positioned read of n contiguous bytes straight
+// from the backing device (direct I/O, bypassing the cache): the clock
+// advances one miss latency per page-sized chunk and nothing is cached.
+func (m *Medium) ChargeDirect(n int64) {
+	if n <= 0 {
+		n = 1
+	}
+	pages := (n + m.pageSize - 1) / m.pageSize
+	m.mu.Lock()
+	if m.budget < 0 {
+		// Unlimited media never pay I/O.
+		m.accesses += uint64(pages)
+		m.mu.Unlock()
+		return
+	}
+	m.accesses += uint64(pages)
+	m.misses += uint64(pages)
+	m.mu.Unlock()
+	m.clock.Advance(time.Duration(pages) * m.missLatency)
+}
+
+// Stats returns access counters.
+func (m *Medium) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Accesses: m.accesses, Misses: m.misses}
+}
+
+// ResetStats zeroes access counters (the cache contents are kept, so a
+// warmed cache stays warm — mirroring the paper's 15-minute warm-up).
+func (m *Medium) ResetStats() {
+	m.mu.Lock()
+	m.accesses, m.misses = 0, 0
+	m.mu.Unlock()
+}
+
+func (m *Medium) pushFrontLocked(n *pageNode) {
+	n.prev = nil
+	n.next = m.head
+	if m.head != nil {
+		m.head.prev = n
+	}
+	m.head = n
+	if m.tail == nil {
+		m.tail = n
+	}
+}
+
+func (m *Medium) moveToFrontLocked(n *pageNode) {
+	if m.head == n {
+		return
+	}
+	// Unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if m.tail == n {
+		m.tail = n.prev
+	}
+	m.pushFrontLocked(n)
+}
+
+func (m *Medium) evictToBudgetLocked() {
+	for m.cached > m.budget && m.tail != nil {
+		victim := m.tail
+		m.tail = victim.prev
+		if m.tail != nil {
+			m.tail.next = nil
+		} else {
+			m.head = nil
+		}
+		delete(m.cache, victim.key)
+		m.cached -= m.pageSize
+	}
+}

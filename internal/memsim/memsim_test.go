@@ -1,0 +1,224 @@
+package memsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnlimitedNeverMisses(t *testing.T) {
+	m := Unlimited()
+	r := m.Register(1 << 20)
+	for i := int64(0); i < 100; i++ {
+		m.Access(r, i*DefaultPageSize, 1)
+	}
+	s := m.Stats()
+	if s.Misses != 0 {
+		t.Errorf("unlimited medium missed %d times", s.Misses)
+	}
+	if s.Accesses != 100 {
+		t.Errorf("accesses = %d, want 100", s.Accesses)
+	}
+	if m.Clock().Elapsed() != 0 {
+		t.Errorf("clock advanced %v on unlimited medium", m.Clock().Elapsed())
+	}
+}
+
+func TestColdThenWarm(t *testing.T) {
+	clock := &Clock{}
+	m := NewMedium(clock, Config{Budget: 10 * DefaultPageSize})
+	r := m.Register(10 * DefaultPageSize)
+	// First pass over 10 pages: all cold.
+	for i := int64(0); i < 10; i++ {
+		m.Access(r, i*DefaultPageSize, 1)
+	}
+	if s := m.Stats(); s.Misses != 10 {
+		t.Fatalf("cold pass misses = %d, want 10", s.Misses)
+	}
+	if got, want := clock.Elapsed(), 10*DefaultMissLatency; got != want {
+		t.Fatalf("clock = %v, want %v", got, want)
+	}
+	// Second pass: all warm.
+	m.ResetStats()
+	for i := int64(0); i < 10; i++ {
+		m.Access(r, i*DefaultPageSize, 1)
+	}
+	if s := m.Stats(); s.Misses != 0 {
+		t.Fatalf("warm pass misses = %d, want 0", s.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := NewMedium(nil, Config{Budget: 2 * DefaultPageSize})
+	r := m.Register(3 * DefaultPageSize)
+	m.Access(r, 0, 1)                 // page 0 cold
+	m.Access(r, DefaultPageSize, 1)   // page 1 cold
+	m.Access(r, 0, 1)                 // page 0 warm, now MRU
+	m.Access(r, 2*DefaultPageSize, 1) // page 2 cold, evicts page 1
+	m.ResetStats()
+	m.Access(r, 0, 1) // still cached
+	if s := m.Stats(); s.Misses != 0 {
+		t.Errorf("page 0 should be cached, missed %d", s.Misses)
+	}
+	m.Access(r, DefaultPageSize, 1) // was evicted
+	if s := m.Stats(); s.Misses != 1 {
+		t.Errorf("page 1 should have been evicted, misses = %d", s.Misses)
+	}
+}
+
+func TestMultiPageAccess(t *testing.T) {
+	m := NewMedium(nil, Config{Budget: 100 * DefaultPageSize})
+	r := m.Register(100 * DefaultPageSize)
+	// A read spanning pages 3..6 (offset mid-page).
+	m.Access(r, 3*DefaultPageSize+100, 3*DefaultPageSize)
+	if s := m.Stats(); s.Accesses != 4 || s.Misses != 4 {
+		t.Errorf("stats = %+v, want 4 accesses/4 misses", s)
+	}
+}
+
+func TestRegionsAreDistinct(t *testing.T) {
+	m := NewMedium(nil, Config{Budget: 10 * DefaultPageSize})
+	a := m.Register(DefaultPageSize)
+	b := m.Register(DefaultPageSize)
+	m.Access(a, 0, 1)
+	m.Access(b, 0, 1)
+	if s := m.Stats(); s.Misses != 2 {
+		t.Errorf("distinct regions share pages: misses = %d, want 2", s.Misses)
+	}
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	m := Unlimited()
+	m.Register(1000)
+	m.Register(500)
+	m.Grow(250)
+	if got := m.Footprint(); got != 1750 {
+		t.Errorf("footprint = %d, want 1750", got)
+	}
+}
+
+func TestSetBudgetShrinkEvicts(t *testing.T) {
+	m := NewMedium(nil, Config{Budget: 4 * DefaultPageSize})
+	r := m.Register(4 * DefaultPageSize)
+	for i := int64(0); i < 4; i++ {
+		m.Access(r, i*DefaultPageSize, 1)
+	}
+	m.SetBudget(DefaultPageSize)
+	m.ResetStats()
+	// Only the MRU page (3) survives.
+	m.Access(r, 3*DefaultPageSize, 1)
+	if s := m.Stats(); s.Misses != 0 {
+		t.Errorf("MRU page evicted unexpectedly")
+	}
+	m.Access(r, 0, 1)
+	if s := m.Stats(); s.Misses != 1 {
+		t.Errorf("LRU page should have been evicted")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(time.Millisecond)
+	if got := c.Elapsed(); got != time.Second+time.Millisecond {
+		t.Errorf("elapsed = %v", got)
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Errorf("reset failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := NewMedium(nil, Config{Budget: 8 * DefaultPageSize})
+	r := m.Register(64 * DefaultPageSize)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Access(r, int64((g*1000+i)%64)*DefaultPageSize, 128)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := m.Stats(); s.Accesses != 8000 {
+		t.Errorf("accesses = %d, want 8000", s.Accesses)
+	}
+}
+
+func TestSilentMode(t *testing.T) {
+	clock := &Clock{}
+	m := NewMedium(clock, Config{Budget: 4 * DefaultPageSize})
+	r := m.Register(16 * DefaultPageSize)
+	m.SetSilent(true)
+	m.Access(r, 0, 1)
+	m.Access(r, DefaultPageSize, 1)
+	m.ChargeCPU(time.Second)
+	m.SetSilent(false)
+	if s := m.Stats(); s.Accesses != 0 || s.Misses != 0 {
+		t.Errorf("silent accesses counted: %+v", s)
+	}
+	if clock.Elapsed() != 0 {
+		t.Errorf("silent charges advanced clock: %v", clock.Elapsed())
+	}
+	// But the pages did load: touching them now is a hit.
+	m.Access(r, 0, 1)
+	if s := m.Stats(); s.Misses != 0 {
+		t.Errorf("silently loaded page missed: %+v", s)
+	}
+	// And silent loads evict: fill past budget silently, check eviction.
+	m.SetSilent(true)
+	for i := int64(0); i < 8; i++ {
+		m.Access(r, i*DefaultPageSize, 1)
+	}
+	m.SetSilent(false)
+	m.ResetStats()
+	m.Access(r, 0, 1) // evicted by the silent flood
+	if s := m.Stats(); s.Misses != 1 {
+		t.Errorf("silent flood did not evict: %+v", s)
+	}
+}
+
+func TestChargeCPU(t *testing.T) {
+	clock := &Clock{}
+	m := NewMedium(clock, Config{Budget: -1})
+	m.ChargeCPU(3 * time.Millisecond)
+	if clock.Elapsed() != 3*time.Millisecond {
+		t.Errorf("clock = %v", clock.Elapsed())
+	}
+}
+
+func TestProbe(t *testing.T) {
+	m := NewMedium(nil, Config{Budget: 2 * DefaultPageSize})
+	r := m.Register(8 * DefaultPageSize)
+	if m.Probe(r, 0) {
+		t.Error("cold page probed hot")
+	}
+	m.Access(r, 0, 1)
+	if !m.Probe(r, 0) {
+		t.Error("hot page probed cold")
+	}
+	if !Unlimited().Probe(0, 0) {
+		t.Error("unlimited medium must probe hot")
+	}
+}
+
+func TestChargeDirect(t *testing.T) {
+	clock := &Clock{}
+	m := NewMedium(clock, Config{Budget: 2 * DefaultPageSize})
+	m.ChargeDirect(1)
+	if clock.Elapsed() != DefaultMissLatency {
+		t.Errorf("one page direct = %v", clock.Elapsed())
+	}
+	m.ChargeDirect(3 * DefaultPageSize)
+	if clock.Elapsed() != 4*DefaultMissLatency {
+		t.Errorf("multi page direct = %v", clock.Elapsed())
+	}
+	// Direct reads do not populate the cache.
+	r := m.Register(DefaultPageSize)
+	if m.Probe(r, 0) {
+		t.Error("direct read cached a page")
+	}
+}

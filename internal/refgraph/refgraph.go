@@ -1,0 +1,281 @@
+// Package refgraph is a deliberately naive in-memory property graph that
+// implements the shared store interface with obvious O(n) algorithms. It
+// exists as the ground truth for conformance tests: ZipG and both
+// baselines must agree with it on every query, which is what licenses
+// the throughput comparisons between them.
+package refgraph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"zipg/internal/graphapi"
+)
+
+type edge struct {
+	etype graphapi.EdgeType
+	dst   graphapi.NodeID
+	ts    int64
+	seq   int // insertion order, for stable ts ties
+	props map[string]string
+}
+
+// Graph is the reference implementation.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[graphapi.NodeID]map[string]string
+	edges map[graphapi.NodeID][]edge
+	seq   int
+}
+
+// Compile-time check.
+var _ graphapi.Store = (*Graph)(nil)
+
+// New builds the reference graph.
+func New(nodes []graphapi.Node, edges []graphapi.Edge) *Graph {
+	g := &Graph{
+		nodes: make(map[graphapi.NodeID]map[string]string),
+		edges: make(map[graphapi.NodeID][]edge),
+	}
+	for _, n := range nodes {
+		g.AppendNode(n.ID, n.Props)
+	}
+	for _, e := range edges {
+		g.AppendEdge(e)
+	}
+	return g
+}
+
+// AppendNode implements graphapi.Store.
+func (g *Graph) AppendNode(id graphapi.NodeID, props map[string]string) error {
+	if id < 0 {
+		return fmt.Errorf("refgraph: negative node ID")
+	}
+	cp := make(map[string]string, len(props))
+	for k, v := range props {
+		if v != "" { // empty values are equivalent to absent properties
+			cp[k] = v
+		}
+	}
+	g.mu.Lock()
+	g.nodes[id] = cp
+	g.mu.Unlock()
+	return nil
+}
+
+// AppendEdge implements graphapi.Store.
+func (g *Graph) AppendEdge(e graphapi.Edge) error {
+	if e.Src < 0 || e.Dst < 0 || e.Type < 0 || e.Timestamp < 0 {
+		return fmt.Errorf("refgraph: negative field")
+	}
+	cp := make(map[string]string, len(e.Props))
+	for k, v := range e.Props {
+		if v != "" {
+			cp[k] = v
+		}
+	}
+	if len(cp) == 0 {
+		cp = nil
+	}
+	g.mu.Lock()
+	// Endpoints are auto-created with empty property lists (the shared
+	// semantics: Neo4j and Titan auto-create, and ZipG's store follows).
+	for _, id := range []graphapi.NodeID{e.Src, e.Dst} {
+		if _, ok := g.nodes[id]; !ok {
+			g.nodes[id] = map[string]string{}
+		}
+	}
+	g.seq++
+	g.edges[e.Src] = append(g.edges[e.Src], edge{e.Type, e.Dst, e.Timestamp, g.seq, cp})
+	g.mu.Unlock()
+	return nil
+}
+
+// DeleteNode implements graphapi.Store.
+func (g *Graph) DeleteNode(id graphapi.NodeID) error {
+	g.mu.Lock()
+	delete(g.nodes, id)
+	g.mu.Unlock()
+	return nil
+}
+
+// DeleteEdges implements graphapi.Store.
+func (g *Graph) DeleteEdges(src graphapi.NodeID, etype graphapi.EdgeType, dst graphapi.NodeID) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	es := g.edges[src]
+	kept := es[:0]
+	removed := 0
+	for _, e := range es {
+		if e.etype == etype && e.dst == dst {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	g.edges[src] = kept
+	return removed, nil
+}
+
+// GetNodeProperty implements graphapi.Store.
+func (g *Graph) GetNodeProperty(id graphapi.NodeID, propertyIDs []string) ([]string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	props, ok := g.nodes[id]
+	if !ok {
+		return nil, false
+	}
+	if len(propertyIDs) == 0 {
+		keys := make([]string, 0, len(props))
+		for k := range props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		propertyIDs = keys
+	}
+	out := make([]string, len(propertyIDs))
+	for i, pid := range propertyIDs {
+		out[i] = props[pid]
+	}
+	return out, true
+}
+
+// GetNodeIDs implements graphapi.Store.
+func (g *Graph) GetNodeIDs(props map[string]string) []graphapi.NodeID {
+	if len(props) == 0 {
+		return nil
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []graphapi.NodeID
+	for id, np := range g.nodes {
+		match := true
+		for k, v := range props {
+			if np[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// liveEdges returns src's edges of etype (<0 = all) sorted by (ts, seq),
+// only if src is live.
+func (g *Graph) liveEdges(src graphapi.NodeID, etype graphapi.EdgeType) ([]edge, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.nodes[src]; !ok {
+		return nil, false
+	}
+	var out []edge
+	for _, e := range g.edges[src] {
+		if etype < 0 || e.etype == etype {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ts != out[j].ts {
+			return out[i].ts < out[j].ts
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out, true
+}
+
+// GetNeighborIDs implements graphapi.Store.
+func (g *Graph) GetNeighborIDs(id graphapi.NodeID, etype graphapi.EdgeType, props map[string]string) []graphapi.NodeID {
+	es, ok := g.liveEdges(id, etype)
+	if !ok {
+		return nil
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[graphapi.NodeID]bool)
+	var out []graphapi.NodeID
+	for _, e := range es {
+		if seen[e.dst] {
+			continue
+		}
+		seen[e.dst] = true
+		dp, ok := g.nodes[e.dst]
+		if !ok {
+			continue
+		}
+		match := true
+		for k, v := range props {
+			if dp[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, e.dst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type record struct{ edges []edge }
+
+func (r *record) Count() int { return len(r.edges) }
+
+func (r *record) Range(tLo, tHi int64) (int, int) {
+	tLo, tHi = graphapi.TimeBounds(tLo, tHi)
+	beg := sort.Search(len(r.edges), func(i int) bool { return r.edges[i].ts >= tLo })
+	end := sort.Search(len(r.edges), func(i int) bool { return r.edges[i].ts >= tHi })
+	return beg, end
+}
+
+func (r *record) Data(i int) (graphapi.EdgeData, error) {
+	if i < 0 || i >= len(r.edges) {
+		return graphapi.EdgeData{}, fmt.Errorf("refgraph: time order %d out of range", i)
+	}
+	e := r.edges[i]
+	return graphapi.EdgeData{Dst: e.dst, Timestamp: e.ts, Props: e.props}, nil
+}
+
+func (r *record) Destinations() []graphapi.NodeID {
+	out := make([]graphapi.NodeID, len(r.edges))
+	for i, e := range r.edges {
+		out[i] = e.dst
+	}
+	return out
+}
+
+// GetEdgeRecord implements graphapi.Store.
+func (g *Graph) GetEdgeRecord(id graphapi.NodeID, etype graphapi.EdgeType) (graphapi.EdgeRecord, bool) {
+	es, ok := g.liveEdges(id, etype)
+	if !ok || len(es) == 0 {
+		return nil, false
+	}
+	return &record{es}, true
+}
+
+// GetEdgeRecords implements graphapi.Store.
+func (g *Graph) GetEdgeRecords(id graphapi.NodeID) []graphapi.EdgeRecord {
+	es, ok := g.liveEdges(id, -1)
+	if !ok {
+		return nil
+	}
+	byType := make(map[graphapi.EdgeType][]edge)
+	for _, e := range es {
+		byType[e.etype] = append(byType[e.etype], e)
+	}
+	types := make([]graphapi.EdgeType, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	out := make([]graphapi.EdgeRecord, 0, len(types))
+	for _, t := range types {
+		out = append(out, &record{byType[t]})
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+// Package rpc is a minimal multiplexed RPC layer over TCP used by the
+// distributed ZipG deployment (§4.1): length-prefixed frames carrying
+// gob-encoded request/response envelopes. Each connection multiplexes
+// concurrent in-flight calls by request ID, so one aggregator connection
+// per peer suffices for the function-shipping fan-out.
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxFrame bounds a single message (64 MiB), protecting servers from
+// corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// request is the wire envelope for calls.
+type request struct {
+	ID     uint64
+	Method string
+	Args   []byte
+}
+
+// response is the wire envelope for results.
+type response struct {
+	ID     uint64
+	Err    string
+	Result []byte
+}
+
+// writeFrame sends one length-prefixed gob blob.
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame receives one length-prefixed gob blob into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+}
+
+// Handler serves one method: decode args from the blob, return a result
+// to encode.
+type Handler func(args []byte) (any, error)
+
+// Server dispatches framed requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	conns    map[net.Conn]bool
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]bool)}
+}
+
+// Handle registers a method. Must be called before Serve.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts
+// serving in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h := s.handlers[req.Method]
+		s.mu.RUnlock()
+		// Serve each request concurrently: aggregator fan-outs depend on
+		// it (a server may call back into its own peers mid-request).
+		s.wg.Add(1)
+		go func(req request) {
+			defer s.wg.Done()
+			resp := response{ID: req.ID}
+			if h == nil {
+				resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
+			} else if result, err := h(req.Args); err != nil {
+				resp.Err = err.Error()
+			} else {
+				var buf bytes.Buffer
+				if err := gob.NewEncoder(&buf).Encode(result); err != nil {
+					resp.Err = fmt.Sprintf("rpc: encode result: %v", err)
+				} else {
+					resp.Result = buf.Bytes()
+				}
+			}
+			writeMu.Lock()
+			err := writeFrame(conn, &resp)
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+// Close stops the server, closes open connections (unblocking their
+// readers), and waits for in-flight work.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Client is a multiplexed connection to one server. Safe for concurrent
+// use.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	nextID  atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	err     error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan response)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		var resp response
+		if err := readFrame(c.conn, &resp); err != nil {
+			c.mu.Lock()
+			c.err = err
+			for id, ch := range c.pending {
+				ch <- response{ID: id, Err: fmt.Sprintf("rpc: connection lost: %v", err)}
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// Call invokes method with args, decoding the result into reply (which
+// must be a pointer, or nil to discard).
+func (c *Client) Call(method string, args any, reply any) error {
+	var argBuf bytes.Buffer
+	if err := gob.NewEncoder(&argBuf).Encode(args); err != nil {
+		return fmt.Errorf("rpc: encode args: %w", err)
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return fmt.Errorf("rpc: connection lost: %w", err)
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, &request{ID: id, Method: method, Args: argBuf.Bytes()})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("rpc: send: %w", err)
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	if reply != nil {
+		if err := gob.NewDecoder(bytes.NewReader(resp.Result)).Decode(reply); err != nil {
+			return fmt.Errorf("rpc: decode reply: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// DecodeArgs is a helper for handlers.
+func DecodeArgs(blob []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(blob)).Decode(v)
+}

@@ -1,0 +1,115 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type echoArgs struct {
+	Msg string
+	N   int
+}
+
+func startEcho(t testing.TB) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	s.Handle("echo", func(blob []byte) (any, error) {
+		var a echoArgs
+		if err := DecodeArgs(blob, &a); err != nil {
+			return nil, err
+		}
+		return fmt.Sprintf("%s/%d", a.Msg, a.N), nil
+	})
+	s.Handle("fail", func(blob []byte) (any, error) {
+		return nil, errors.New("deliberate failure")
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, addr
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, addr := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var reply string
+	if err := c.Call("echo", echoArgs{"hello", 7}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply != "hello/7" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	_, addr := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("fail", echoArgs{}, nil); err == nil || err.Error() != "deliberate failure" {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Call("nope", echoArgs{}, nil); err == nil {
+		t.Fatal("unknown method should error")
+	}
+	// The connection survives handler errors.
+	var reply string
+	if err := c.Call("echo", echoArgs{"still", 1}, &reply); err != nil || reply != "still/1" {
+		t.Fatalf("connection broken after error: %v %q", err, reply)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, addr := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var reply string
+				if err := c.Call("echo", echoArgs{"m", g*1000 + i}, &reply); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if reply != fmt.Sprintf("m/%d", g*1000+i) {
+					t.Errorf("cross-wired reply %q", reply)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestConnectionLoss(t *testing.T) {
+	s, addr := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var reply string
+	if err := c.Call("echo", echoArgs{"x", 1}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := c.Call("echo", echoArgs{"y", 2}, &reply); err == nil {
+		t.Fatal("call on closed server should fail")
+	}
+}

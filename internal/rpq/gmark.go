@@ -1,0 +1,75 @@
+package rpq
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// QueryClass labels the gMark query shapes (Appendix B.1: "linear path
+// traversals, branched traversals and highly recursive queries").
+type QueryClass int
+
+// The three query classes.
+const (
+	Linear QueryClass = iota
+	Branched
+	Recursive
+)
+
+// String names the class.
+func (c QueryClass) String() string {
+	return [...]string{"linear", "branched", "recursive"}[c]
+}
+
+// Query is one generated path query.
+type Query struct {
+	ID    int
+	Class QueryClass
+	Expr  *Expr
+}
+
+// GenerateQueries produces n queries in the gMark style over an
+// alphabet of numLabels edge types (the paper's workload uses gMark's
+// LDBC Social Network Benchmark schema and generates 50 queries of
+// "widely varying nature": linear, branched, and recursive).
+func GenerateQueries(seed int64, n, numLabels int) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	if numLabels < 2 {
+		numLabels = 2
+	}
+	if numLabels > 26 {
+		numLabels = 26
+	}
+	label := func() string { return string(rune('a' + rng.Intn(numLabels))) }
+	out := make([]Query, n)
+	for i := range out {
+		var text string
+		var class QueryClass
+		switch i % 5 {
+		case 0, 1: // 40% linear: 2-4 concatenated labels
+			var sb strings.Builder
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				sb.WriteString(label())
+			}
+			text, class = sb.String(), Linear
+		case 2, 3: // 40% branched: unions inside a chain
+			text = "(" + label() + "|" + label() + ")" + label()
+			if rng.Intn(2) == 0 {
+				text += "(" + label() + "|" + label() + ")"
+			}
+			class = Branched
+		default: // 20% recursive: closures
+			switch rng.Intn(3) {
+			case 0:
+				text = label() + "*" + label()
+			case 1:
+				text = "(" + label() + label() + ")+"
+			default:
+				text = label() + "(" + label() + "|" + label() + ")*"
+			}
+			class = Recursive
+		}
+		out[i] = Query{ID: i + 1, Class: class, Expr: MustParse(text)}
+	}
+	return out
+}

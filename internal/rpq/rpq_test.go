@@ -1,0 +1,209 @@
+package rpq
+
+import (
+	"sort"
+	"testing"
+
+	"zipg"
+	"zipg/internal/graphapi"
+	"zipg/internal/refgraph"
+)
+
+// chainGraph builds 0 -a-> 1 -b-> 2 -a-> 3 -a-> 4 plus 1 -c-> 5.
+// Labels: a=0, b=1, c=2.
+func chainGraph(t testing.TB) (graphapi.Store, []graphapi.NodeID) {
+	t.Helper()
+	var nodes []zipg.Node
+	for i := 0; i < 6; i++ {
+		nodes = append(nodes, zipg.Node{ID: int64(i)})
+	}
+	edges := []zipg.Edge{
+		{Src: 0, Dst: 1, Type: 0, Timestamp: 1},
+		{Src: 1, Dst: 2, Type: 1, Timestamp: 2},
+		{Src: 2, Dst: 3, Type: 0, Timestamp: 3},
+		{Src: 3, Dst: 4, Type: 0, Timestamp: 4},
+		{Src: 1, Dst: 5, Type: 2, Timestamp: 5},
+	}
+	g, err := zipg.Compress(zipg.GraphData{Nodes: nodes, Edges: edges}, zipg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]graphapi.NodeID, 6)
+	for i := range all {
+		all[i] = int64(i)
+	}
+	return g, all
+}
+
+func pairsEqual(t *testing.T, got []Pair, want []Pair) {
+	t.Helper()
+	key := func(p Pair) [2]int64 { return [2]int64{p.Start, p.End} }
+	gm := map[[2]int64]bool{}
+	for _, p := range got {
+		gm[key(p)] = true
+	}
+	if len(gm) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for _, p := range want {
+		if !gm[key(p)] {
+			t.Fatalf("missing pair %v in %v", p, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "(", "a(", "a)", "A", "a||b", "*", "a**b("} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	for _, good := range []string{"a", "ab", "a|b", "(ab)*c", "a+b?", "((a|b)|c)d", "a**"} {
+		if _, err := Parse(good); err != nil {
+			t.Errorf("Parse(%q): %v", good, err)
+		}
+	}
+}
+
+func TestLinearQuery(t *testing.T) {
+	g, all := chainGraph(t)
+	// "ab": paths 0-a->1-b->2.
+	got := MustParse("ab").Eval(g, all, Limits{})
+	pairsEqual(t, got, []Pair{{0, 2}})
+	// "aa": 2-a->3-a->4.
+	got = MustParse("aa").Eval(g, all, Limits{})
+	pairsEqual(t, got, []Pair{{2, 4}})
+}
+
+func TestUnionQuery(t *testing.T) {
+	g, all := chainGraph(t)
+	// "b|c" from node 1 reaches 2 and 5.
+	got := MustParse("b|c").Eval(g, all, Limits{})
+	pairsEqual(t, got, []Pair{{1, 2}, {1, 5}})
+}
+
+func TestStarQuery(t *testing.T) {
+	g, all := chainGraph(t)
+	// "a*b": any number of a's then b. From 0: a then b -> 2. From 1: b -> 2.
+	got := MustParse("a*b").Eval(g, all, Limits{})
+	pairsEqual(t, got, []Pair{{0, 2}, {1, 2}})
+	// "a+": one or more a-steps.
+	got = MustParse("a+").Eval(g, all, Limits{})
+	pairsEqual(t, got, []Pair{{0, 1}, {2, 3}, {2, 4}, {3, 4}})
+}
+
+func TestOptionalQuery(t *testing.T) {
+	g, all := chainGraph(t)
+	// "a?b": b alone or a then b.
+	got := MustParse("a?b").Eval(g, all, Limits{})
+	pairsEqual(t, got, []Pair{{0, 2}, {1, 2}})
+}
+
+func TestCycleTermination(t *testing.T) {
+	// A cycle with a closure must terminate (transitive closure).
+	nodes := []zipg.Node{{ID: 0}, {ID: 1}, {ID: 2}}
+	edges := []zipg.Edge{
+		{Src: 0, Dst: 1, Type: 0, Timestamp: 1},
+		{Src: 1, Dst: 2, Type: 0, Timestamp: 2},
+		{Src: 2, Dst: 0, Type: 0, Timestamp: 3},
+	}
+	g, err := zipg.Compress(zipg.GraphData{Nodes: nodes, Edges: edges}, zipg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MustParse("a+").Eval(g, []graphapi.NodeID{0, 1, 2}, Limits{})
+	// Every ordered pair including self-loops via the cycle.
+	if len(got) != 9 {
+		t.Fatalf("a+ on 3-cycle = %d pairs (%v), want 9", len(got), got)
+	}
+}
+
+func TestMaxResultsLimit(t *testing.T) {
+	g, all := chainGraph(t)
+	got := MustParse("a").Eval(g, all, Limits{MaxResults: 2})
+	if len(got) != 2 {
+		t.Fatalf("limit ignored: %d results", len(got))
+	}
+}
+
+func TestEvalAgreesAcrossStores(t *testing.T) {
+	// The same queries over zipg and the reference store agree.
+	var nodes []zipg.Node
+	for i := 0; i < 30; i++ {
+		nodes = append(nodes, zipg.Node{ID: int64(i)})
+	}
+	var edges []zipg.Edge
+	for i := 0; i < 120; i++ {
+		edges = append(edges, zipg.Edge{
+			Src: int64(i % 30), Dst: int64((i * 7) % 30),
+			Type: int64(i % 3), Timestamp: int64(i),
+		})
+	}
+	g, err := zipg.Compress(zipg.GraphData{Nodes: nodes, Edges: edges}, zipg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gnodes, genodes []graphapi.Node
+	_ = genodes
+	for _, n := range nodes {
+		gnodes = append(gnodes, n)
+	}
+	ref := refgraph.New(gnodes, edges)
+	all := make([]graphapi.NodeID, 30)
+	for i := range all {
+		all[i] = int64(i)
+	}
+	for _, q := range GenerateQueries(77, 20, 3) {
+		a := q.Expr.Eval(g, all, Limits{})
+		b := q.Expr.Eval(ref, all, Limits{})
+		sortPairs(a)
+		sortPairs(b)
+		if len(a) != len(b) {
+			t.Fatalf("q%d %q: zipg %d pairs, ref %d", q.ID, q.Expr.Text, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("q%d %q: pair %d differs: %v vs %v", q.ID, q.Expr.Text, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Start != ps[j].Start {
+			return ps[i].Start < ps[j].Start
+		}
+		return ps[i].End < ps[j].End
+	})
+}
+
+func TestGenerateQueries(t *testing.T) {
+	qs := GenerateQueries(1, 50, 5)
+	if len(qs) != 50 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	classes := map[QueryClass]int{}
+	for _, q := range qs {
+		classes[q.Class]++
+		if q.Class == Recursive && !q.Expr.IsRecursive() {
+			t.Errorf("q%d marked recursive but %q has no closure", q.ID, q.Expr.Text)
+		}
+		if len(q.Expr.Labels()) == 0 {
+			t.Errorf("q%d has no labels", q.ID)
+		}
+	}
+	if classes[Linear] != 20 || classes[Branched] != 20 || classes[Recursive] != 10 {
+		t.Errorf("class distribution = %v", classes)
+	}
+	// Determinism.
+	qs2 := GenerateQueries(1, 50, 5)
+	for i := range qs {
+		if qs[i].Expr.Text != qs2[i].Expr.Text {
+			t.Fatal("query generation not deterministic")
+		}
+	}
+}

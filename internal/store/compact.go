@@ -1,0 +1,157 @@
+package store
+
+import (
+	"fmt"
+
+	"zipg/internal/core"
+	"zipg/internal/layout"
+	"zipg/internal/logstore"
+)
+
+// Compact is the periodic garbage collection of §4.1: it merges every
+// fragment — the primary shards, all frozen LogStore generations and the
+// live LogStore — into fresh primary shards, physically dropping
+// lazily-deleted nodes and edges and resetting every update pointer.
+// After compaction each node's data is whole again (FragmentsOf returns
+// 1 for every node) and reads touch exactly one shard.
+//
+// Compaction holds the store's write lock for the duration (the paper
+// runs it periodically in the background on dedicated capacity; this
+// implementation favours simplicity).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	nodes, edges, err := s.materializeLocked()
+	if err != nil {
+		return err
+	}
+
+	partNodes := make([][]layout.Node, s.cfg.NumShards)
+	partEdges := make([][]layout.Edge, s.cfg.NumShards)
+	for _, n := range nodes {
+		p := s.partitionOf(n.ID)
+		partNodes[p] = append(partNodes[p], n)
+	}
+	for _, e := range edges {
+		p := s.partitionOf(e.Src)
+		partEdges[p] = append(partEdges[p], e)
+	}
+	opts := core.Options{SamplingRate: s.cfg.SamplingRate, Medium: s.cfg.Medium}
+	fresh := make([]*core.Shard, s.cfg.NumShards)
+	for p := 0; p < s.cfg.NumShards; p++ {
+		if fresh[p], err = core.Build(partNodes[p], partEdges[p], s.nodeSchema, s.edgeSchema, opts); err != nil {
+			return fmt.Errorf("store: compact shard %d: %w", p, err)
+		}
+	}
+
+	s.primaries = fresh
+	s.frozen = nil
+	s.log = logstore.New(s.nodeSchema, s.edgeSchema, s.cfg.Medium, 0)
+	s.ptrs = make(map[layout.NodeID][]int)
+	s.deletedNodes = make(map[layout.NodeID]bool)
+	s.deletedPhys = make(map[shardEdgeRef]map[int]bool)
+	return nil
+}
+
+// materializeLocked reconstructs the live logical graph: every live
+// node's current property list and every live edge. Callers hold s.mu.
+func (s *Store) materializeLocked() ([]layout.Node, []layout.Edge, error) {
+	// Collect candidate node IDs from every fragment.
+	ids := make(map[layout.NodeID]bool)
+	for _, sh := range s.primaries {
+		for _, id := range sh.Nodes().IDs() {
+			ids[id] = true
+		}
+	}
+	for _, sh := range s.frozen {
+		for _, id := range sh.Nodes().IDs() {
+			ids[id] = true
+		}
+	}
+	logNodes, _ := s.log.Contents()
+	for _, n := range logNodes {
+		ids[n.ID] = true
+	}
+	// A node with edges but no property record anywhere still exists
+	// (implicit endpoints); its edges are discovered below and need no
+	// node record entry here beyond what resolution finds.
+
+	var nodes []layout.Node
+	for id := range ids {
+		if s.deletedNodes[id] {
+			continue
+		}
+		props, ok := s.resolveNodeLocked(id)
+		if !ok {
+			continue
+		}
+		nodes = append(nodes, layout.Node{ID: id, Props: props})
+	}
+
+	// Edges: walk every (src, etype) record in every fragment, honoring
+	// physical deletion marks; LogStore edges come from its contents.
+	var edges []layout.Edge
+	appendFromShard := func(sh *core.Shard) error {
+		for _, src := range sh.EdgeSources() {
+			if s.deletedNodes[src] {
+				continue
+			}
+			for _, ref := range sh.Edges().GetEdgeRecords(src) {
+				deleted := s.deletedPhys[shardEdgeRef{sh, src, ref.Type}]
+				for i := 0; i < ref.Count; i++ {
+					if deleted[i] {
+						continue
+					}
+					d, err := sh.Edges().GetEdgeData(ref, i)
+					if err != nil {
+						return fmt.Errorf("store: compact: edge (%d,%d)[%d]: %w", src, ref.Type, i, err)
+					}
+					edges = append(edges, layout.Edge{
+						Src: src, Dst: d.Dst, Type: ref.Type,
+						Timestamp: d.Timestamp, Props: d.Props,
+					})
+				}
+			}
+		}
+		return nil
+	}
+	for _, sh := range s.primaries {
+		if err := appendFromShard(sh); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, sh := range s.frozen {
+		if err := appendFromShard(sh); err != nil {
+			return nil, nil, err
+		}
+	}
+	_, logEdges := s.log.Contents()
+	for _, e := range logEdges {
+		if s.deletedNodes[e.Src] {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	return nodes, edges, nil
+}
+
+// resolveNodeLocked returns the newest live property map for id, like
+// GetNodeProps but lock-free-internally for use during compaction.
+func (s *Store) resolveNodeLocked(id layout.NodeID) (map[string]string, bool) {
+	for _, g := range s.nodeGensLocked(id) {
+		if g == len(s.frozen) {
+			if props, ok := s.log.NodeProps(id); ok {
+				return props, true
+			}
+			continue
+		}
+		if g > len(s.frozen) {
+			continue
+		}
+		if props, ok := s.frozen[g].Nodes().GetAllProps(id); ok {
+			return props, true
+		}
+	}
+	return s.primaries[s.partitionOf(id)].Nodes().GetAllProps(id)
+}

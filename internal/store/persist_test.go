@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+
+	"reflect"
+	"strings"
+	"testing"
+
+	"zipg/internal/layout"
+)
+
+// mutatedStore builds a store with every kind of state to persist:
+// multiple shards, rollovers, live LogStore data, update pointers,
+// deleted nodes and deleted edges.
+func mutatedStore(t *testing.T) *Store {
+	t.Helper()
+	ns, es := testSchemas(t)
+	nodes, edges := testGraph(30, 120, 3)
+	s, err := New(nodes, edges, ns, es, Config{
+		NumShards:         3,
+		SamplingRate:      8,
+		LogStoreThreshold: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := s.AppendEdge(layout.Edge{Src: int64(i % 10), Dst: int64(500 + i), Type: 1, Timestamp: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AppendNode(100, map[string]string{"name": "persisted"}); err != nil {
+		t.Fatal(err)
+	}
+	s.DeleteNode(7)
+	s.DeleteEdges(edges[0].Src, edges[0].Type, edges[0].Dst)
+	if s.Rollovers() == 0 {
+		t.Fatal("fixture should have rolled over")
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := mutatedStore(t)
+	blob, err := s.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(blob), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every node resolves identically (including deleted and appended).
+	for id := int64(0); id < 110; id++ {
+		wantProps, wantOK := s.GetNodeProps(id, nil)
+		gotProps, gotOK := got.GetNodeProps(id, nil)
+		if wantOK != gotOK || !reflect.DeepEqual(wantProps, gotProps) {
+			t.Fatalf("node %d: %v,%v want %v,%v", id, gotProps, gotOK, wantProps, wantOK)
+		}
+	}
+	// Edge records agree, including merged fragments and deletions.
+	for src := int64(0); src < 30; src++ {
+		for ty := int64(0); ty < 3; ty++ {
+			wantRec, wantOK := s.GetEdgeRecord(src, ty)
+			gotRec, gotOK := got.GetEdgeRecord(src, ty)
+			if wantOK != gotOK {
+				t.Fatalf("record (%d,%d): ok %v want %v", src, ty, gotOK, wantOK)
+			}
+			if !wantOK {
+				continue
+			}
+			if wantRec.Count() != gotRec.Count() {
+				t.Fatalf("record (%d,%d): count %d want %d", src, ty, gotRec.Count(), wantRec.Count())
+			}
+			for i := 0; i < wantRec.Count(); i++ {
+				wd, _ := wantRec.GetEdgeData(i)
+				gd, _ := gotRec.GetEdgeData(i)
+				if wd.Timestamp != gd.Timestamp {
+					t.Fatalf("record (%d,%d)[%d]: ts %d want %d", src, ty, i, gd.Timestamp, wd.Timestamp)
+				}
+			}
+		}
+	}
+	// Fragmentation state carried over.
+	if got.Rollovers() != s.Rollovers() || got.NumFragments() != s.NumFragments() {
+		t.Fatalf("fragments %d/%d want %d/%d",
+			got.Rollovers(), got.NumFragments(), s.Rollovers(), s.NumFragments())
+	}
+	for id := int64(0); id < 10; id++ {
+		if got.FragmentsOf(id) != s.FragmentsOf(id) {
+			t.Fatalf("FragmentsOf(%d) = %d want %d", id, got.FragmentsOf(id), s.FragmentsOf(id))
+		}
+	}
+	// The loaded store keeps working: writes and rollovers continue.
+	for i := 0; i < 50; i++ {
+		if err := got.AppendEdge(layout.Edge{Src: 5, Dst: int64(900 + i), Type: 2, Timestamp: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, ok := got.GetEdgeRecord(5, 2)
+	if !ok || rec.Count() < 50 {
+		t.Fatalf("appends after load missing: %v", ok)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a store"), nil); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := Load(strings.NewReader(persistMagic+"garbage"), nil); err == nil {
+		t.Error("corrupt body should fail")
+	}
+	if _, err := Load(strings.NewReader(""), nil); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestSaveDeterministicQueries(t *testing.T) {
+	// Save twice; loads must agree with each other query-for-query.
+	s := mutatedStore(t)
+	b1, err := s.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := Load(bytes.NewReader(b1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(bytes.NewReader(b2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, props := range []map[string]string{{"location": "Ithaca"}, {"name": "persisted"}} {
+		if !reflect.DeepEqual(g1.FindNodes(props), g2.FindNodes(props)) {
+			t.Fatalf("loads disagree on FindNodes(%v)", props)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"zipg/internal/core"
+	"zipg/internal/layout"
+)
+
+// EdgeRecord is the store-level realization of §2.2's EdgeRecord: a
+// handle to all live edges of one EdgeType incident on a node, possibly
+// fragmented across the primary shard, frozen generations and the live
+// LogStore. TimeOrder indexes the live edges across all fragments in
+// global timestamp order.
+type EdgeRecord struct {
+	Src  layout.NodeID
+	Type layout.EdgeType
+
+	pieces []recordPiece
+	count  int
+	merged []mergedEntry // built lazily; nil until needed
+}
+
+// recordPiece is one fragment's contribution to an EdgeRecord.
+type recordPiece struct {
+	shard   *core.Shard          // nil for a LogStore piece
+	ref     layout.EdgeRecordRef // valid when shard != nil
+	deleted map[int]bool         // physical deletion marks (snapshot)
+	edges   []layout.Edge        // LogStore entries, ts-sorted
+}
+
+func (p *recordPiece) liveCount() int {
+	if p.shard == nil {
+		return len(p.edges)
+	}
+	return p.ref.Count - len(p.deleted)
+}
+
+type mergedEntry struct {
+	piece int
+	idx   int // physical index within the piece
+	ts    int64
+}
+
+// Count returns the number of live edges (TAO's assoc_count). For the
+// common unfragmented, no-deletion case this is a pure metadata read.
+func (r *EdgeRecord) Count() int { return r.count }
+
+// GetEdgeRecord returns the merged EdgeRecord for (src, etype), or false
+// if the node is deleted or has no such edges. Fanned updates: only the
+// fragments named by src's update pointers are consulted.
+func (s *Store) GetEdgeRecord(src layout.NodeID, etype layout.EdgeType) (*EdgeRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.getEdgeRecordLocked(src, etype)
+}
+
+func (s *Store) getEdgeRecordLocked(src layout.NodeID, etype layout.EdgeType) (*EdgeRecord, bool) {
+	if s.deletedNodes[src] {
+		return nil, false
+	}
+	r := &EdgeRecord{Src: src, Type: etype}
+	for _, sh := range s.fragmentsOfLocked(src) {
+		if ref, ok := sh.Edges().GetEdgeRecord(src, etype); ok {
+			r.pieces = append(r.pieces, recordPiece{
+				shard:   sh,
+				ref:     ref,
+				deleted: copyDeleted(s.deletedPhys[shardEdgeRef{sh, src, etype}]),
+			})
+		}
+	}
+	if s.hasLogPtrLocked(src) {
+		if es := s.log.EdgeEntries(src, etype); len(es) > 0 {
+			r.pieces = append(r.pieces, recordPiece{edges: es})
+		}
+	}
+	for i := range r.pieces {
+		r.count += r.pieces[i].liveCount()
+	}
+	if r.count == 0 {
+		return nil, false
+	}
+	return r, true
+}
+
+// GetEdgeRecords returns the merged EdgeRecords of every EdgeType
+// incident on src (wildcard EdgeType), in ascending type order.
+func (s *Store) GetEdgeRecords(src layout.NodeID) []*EdgeRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.deletedNodes[src] {
+		return nil
+	}
+	types := make(map[layout.EdgeType]bool)
+	for _, sh := range s.fragmentsOfLocked(src) {
+		for _, ref := range sh.Edges().GetEdgeRecords(src) {
+			types[ref.Type] = true
+		}
+	}
+	if s.hasLogPtrLocked(src) {
+		for _, t := range s.log.EdgeTypes(src) {
+			types[t] = true
+		}
+	}
+	sorted := make([]layout.EdgeType, 0, len(types))
+	for t := range types {
+		sorted = append(sorted, t)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []*EdgeRecord
+	for _, t := range sorted {
+		if r, ok := s.getEdgeRecordLocked(src, t); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// hasLogPtrLocked reports whether src has an update pointer into the
+// live LogStore. Callers hold s.mu.
+func (s *Store) hasLogPtrLocked(src layout.NodeID) bool {
+	if s.cfg.DisableFannedUpdates {
+		return true
+	}
+	cur := s.curGenLocked()
+	for _, g := range s.ptrs[src] {
+		if g == cur {
+			return true
+		}
+	}
+	return false
+}
+
+func copyDeleted(m map[int]bool) map[int]bool {
+	if len(m) == 0 {
+		return nil
+	}
+	cp := make(map[int]bool, len(m))
+	for k := range m {
+		cp[k] = true
+	}
+	return cp
+}
+
+// ensureMerged builds the global TimeOrder index across pieces.
+func (r *EdgeRecord) ensureMerged() {
+	if r.merged != nil {
+		return
+	}
+	merged := make([]mergedEntry, 0, r.count)
+	for pi := range r.pieces {
+		p := &r.pieces[pi]
+		if p.shard == nil {
+			for i, e := range p.edges {
+				merged = append(merged, mergedEntry{pi, i, e.Timestamp})
+			}
+			continue
+		}
+		v := p.shard.Edges()
+		for i := 0; i < p.ref.Count; i++ {
+			if p.deleted[i] {
+				continue
+			}
+			merged = append(merged, mergedEntry{pi, i, v.Timestamp(p.ref, i)})
+		}
+	}
+	sort.SliceStable(merged, func(a, b int) bool { return merged[a].ts < merged[b].ts })
+	r.merged = merged
+}
+
+// singleCleanPiece reports whether the record is a single compressed
+// fragment with no deletions — the fast path where physical order is
+// TimeOrder.
+func (r *EdgeRecord) singleCleanPiece() (*recordPiece, bool) {
+	if len(r.pieces) != 1 {
+		return nil, false
+	}
+	p := &r.pieces[0]
+	if p.shard != nil && len(p.deleted) == 0 {
+		return p, true
+	}
+	return nil, false
+}
+
+// GetEdgeData returns the (destination, timestamp, property list) of the
+// edge at the given TimeOrder (§2.2's get_edge_data).
+func (r *EdgeRecord) GetEdgeData(timeOrder int) (layout.EdgeData, error) {
+	if timeOrder < 0 || timeOrder >= r.count {
+		return layout.EdgeData{}, fmt.Errorf("store: time order %d out of range [0,%d)", timeOrder, r.count)
+	}
+	if p, ok := r.singleCleanPiece(); ok {
+		return p.shard.Edges().GetEdgeData(p.ref, timeOrder)
+	}
+	r.ensureMerged()
+	m := r.merged[timeOrder]
+	p := &r.pieces[m.piece]
+	if p.shard == nil {
+		e := p.edges[m.idx]
+		props := make(map[string]string, len(e.Props))
+		for k, v := range e.Props {
+			props[k] = v
+		}
+		if len(props) == 0 {
+			props = nil
+		}
+		return layout.EdgeData{Dst: e.Dst, Timestamp: e.Timestamp, Props: props}, nil
+	}
+	return p.shard.Edges().GetEdgeData(p.ref, m.idx)
+}
+
+// GetEdgeRange returns the TimeOrder range [beg, end) of live edges with
+// timestamps in [tLo, tHi) (§2.2's get_edge_range). Wildcard bounds are
+// expressed as tLo=0, tHi=math.MaxInt64 by callers.
+func (r *EdgeRecord) GetEdgeRange(tLo, tHi int64) (int, int) {
+	if p, ok := r.singleCleanPiece(); ok {
+		return p.shard.Edges().TimeRange(p.ref, tLo, tHi)
+	}
+	r.ensureMerged()
+	beg := sort.Search(len(r.merged), func(i int) bool { return r.merged[i].ts >= tLo })
+	end := sort.Search(len(r.merged), func(i int) bool { return r.merged[i].ts >= tHi })
+	return beg, end
+}
+
+// Destinations returns the destination IDs of all live edges in
+// TimeOrder.
+func (r *EdgeRecord) Destinations() []layout.NodeID {
+	if p, ok := r.singleCleanPiece(); ok {
+		return p.shard.Edges().Destinations(p.ref)
+	}
+	r.ensureMerged()
+	out := make([]layout.NodeID, 0, len(r.merged))
+	for _, m := range r.merged {
+		p := &r.pieces[m.piece]
+		if p.shard == nil {
+			out = append(out, p.edges[m.idx].Dst)
+		} else {
+			out = append(out, p.shard.Edges().Destination(p.ref, m.idx))
+		}
+	}
+	return out
+}
+
+// NeighborIDs returns the IDs of live neighbors of src along etype
+// (wildcard: etype < 0) whose current properties match propFilter
+// (Table 1's get_neighbor_ids). Per §2.2 it avoids a join: it walks the
+// destination list and checks each neighbor's properties.
+func (s *Store) NeighborIDs(src layout.NodeID, etype layout.EdgeType, propFilter map[string]string) []layout.NodeID {
+	var records []*EdgeRecord
+	if etype < 0 {
+		records = s.GetEdgeRecords(src)
+	} else if r, ok := s.GetEdgeRecord(src, etype); ok {
+		records = []*EdgeRecord{r}
+	}
+	seen := make(map[layout.NodeID]bool)
+	var out []layout.NodeID
+	for _, r := range records {
+		for _, dst := range r.Destinations() {
+			if seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			s.mu.RLock()
+			deleted := s.deletedNodes[dst]
+			s.mu.RUnlock()
+			if deleted {
+				continue
+			}
+			if len(propFilter) > 0 && !s.NodeMatches(dst, propFilter) {
+				continue
+			}
+			out = append(out, dst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

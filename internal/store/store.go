@@ -1,0 +1,519 @@
+// Package store implements the single-machine ZipG store: hash-
+// partitioned compressed shards (§4.1), a single rolling LogStore for
+// writes, fanned update pointers that route queries to exactly the
+// fragments holding a node's data (§3.5), and lazy deletes.
+//
+// Mutable state (update pointers, deletion marks, the LogStore) is
+// guarded by one RWMutex; compressed shards are immutable and read
+// lock-free — matching the paper's concurrency-control design (§4.1).
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"zipg/internal/core"
+	"zipg/internal/layout"
+	"zipg/internal/logstore"
+	"zipg/internal/memsim"
+)
+
+// DefaultLogStoreThreshold is the LogStore size that triggers a freeze
+// into a compressed shard. The paper used 8 GB on its clusters; the
+// default here is scaled to this repository's MB-scale datasets.
+const DefaultLogStoreThreshold = 4 << 20
+
+// Config parameterizes a Store.
+type Config struct {
+	// NumShards is the number of initial hash partitions (the paper's
+	// default is one per core). 0 means 1.
+	NumShards int
+	// SamplingRate is Succinct's α for compressed shards (0 = default).
+	SamplingRate int
+	// Medium simulates the storage the store's data lives on
+	// (nil = unlimited).
+	Medium *memsim.Medium
+	// LogStoreThreshold triggers rollover (0 = DefaultLogStoreThreshold).
+	LogStoreThreshold int64
+	// DisableFannedUpdates makes reads consult every fragment instead of
+	// following update pointers — the strawman §3.5 argues against.
+	// Exists only for the ablation benchmark.
+	DisableFannedUpdates bool
+}
+
+type shardEdgeRef struct {
+	shard *core.Shard
+	src   layout.NodeID
+	etype layout.EdgeType
+}
+
+// Store is a complete single-machine ZipG instance.
+type Store struct {
+	cfg        Config
+	nodeSchema *layout.PropertySchema
+	edgeSchema *layout.PropertySchema
+
+	// primaries are the initial hash partitions; immutable.
+	primaries []*core.Shard
+
+	mu           sync.RWMutex
+	frozen       []*core.Shard // rolled-over LogStores, generation order
+	log          *logstore.LogStore
+	ptrs         map[layout.NodeID][]int // update pointers: node -> generations
+	deletedNodes map[layout.NodeID]bool
+	deletedPhys  map[shardEdgeRef]map[int]bool // lazily deleted edges in shards
+
+	rollovers int
+}
+
+// New builds a store over the initial graph, hash-partitioning nodes (and
+// their incident edges) across cfg.NumShards compressed shards.
+func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layout.PropertySchema, cfg Config) (*Store, error) {
+	if cfg.NumShards <= 0 {
+		cfg.NumShards = 1
+	}
+	if cfg.LogStoreThreshold <= 0 {
+		cfg.LogStoreThreshold = DefaultLogStoreThreshold
+	}
+	s := &Store{
+		cfg:          cfg,
+		nodeSchema:   nodeSchema,
+		edgeSchema:   edgeSchema,
+		ptrs:         make(map[layout.NodeID][]int),
+		deletedNodes: make(map[layout.NodeID]bool),
+		deletedPhys:  make(map[shardEdgeRef]map[int]bool),
+	}
+
+	partNodes := make([][]layout.Node, cfg.NumShards)
+	partEdges := make([][]layout.Edge, cfg.NumShards)
+	for _, n := range nodes {
+		p := s.partitionOf(n.ID)
+		partNodes[p] = append(partNodes[p], n)
+	}
+	for _, e := range edges {
+		// All edge data for a node is co-located with the node (§4.1).
+		p := s.partitionOf(e.Src)
+		partEdges[p] = append(partEdges[p], e)
+	}
+	opts := core.Options{SamplingRate: cfg.SamplingRate, Medium: cfg.Medium}
+	for p := 0; p < cfg.NumShards; p++ {
+		sh, err := core.Build(partNodes[p], partEdges[p], nodeSchema, edgeSchema, opts)
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", p, err)
+		}
+		s.primaries = append(s.primaries, sh)
+	}
+	s.log = logstore.New(nodeSchema, edgeSchema, cfg.Medium, 0)
+	return s, nil
+}
+
+// partitionOf returns the primary shard index for a node ID.
+func (s *Store) partitionOf(id layout.NodeID) int {
+	h := fnv.New32a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(id) >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(s.cfg.NumShards))
+}
+
+// NodeSchema returns the node property schema.
+func (s *Store) NodeSchema() *layout.PropertySchema { return s.nodeSchema }
+
+// EdgeSchema returns the edge property schema.
+func (s *Store) EdgeSchema() *layout.PropertySchema { return s.edgeSchema }
+
+// curGen returns the current LogStore generation. Callers hold s.mu.
+func (s *Store) curGenLocked() int { return len(s.frozen) }
+
+// addPtrLocked records that gen holds data for node id.
+func (s *Store) addPtrLocked(id layout.NodeID, gen int) {
+	gens := s.ptrs[id]
+	for _, g := range gens {
+		if g == gen {
+			return
+		}
+	}
+	s.ptrs[id] = append(gens, gen)
+}
+
+// AppendNode inserts a new node or replaces an existing node's property
+// list (Table 1's append(nodeID, PropertyList); updates are
+// delete-followed-by-append per §3.5, which this implements atomically).
+//
+// The LogStore append and the update-pointer write happen under the
+// store lock: a rollover sneaking between them would freeze the data
+// into generation g while the pointer records g+1, losing the write.
+func (s *Store) AppendNode(id layout.NodeID, props map[string]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.log.AddNode(id, props); err != nil {
+		return err
+	}
+	delete(s.deletedNodes, id)
+	s.addPtrLocked(id, s.curGenLocked())
+	return s.maybeRolloverLocked()
+}
+
+// AppendEdge appends one edge (Table 1's append(nodeID, edgeType,
+// edgeRecord)). Endpoints that have no node record yet get an empty one
+// — the shared semantics across every system in this repository (Neo4j
+// and Titan both auto-create endpoints). See AppendNode for the locking
+// discipline.
+func (s *Store) AppendEdge(e layout.Edge) error {
+	for _, id := range []layout.NodeID{e.Src, e.Dst} {
+		if !s.HasNode(id) {
+			if err := s.AppendNode(id, nil); err != nil {
+				return err
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.log.AddEdge(e); err != nil {
+		return err
+	}
+	s.addPtrLocked(e.Src, s.curGenLocked())
+	return s.maybeRolloverLocked()
+}
+
+// DeleteNode lazily deletes a node: reads of its properties and edges
+// miss from now on. Re-appending the node restores it (and any edges
+// that were not individually deleted).
+func (s *Store) DeleteNode(id layout.NodeID) {
+	s.mu.Lock()
+	s.deletedNodes[id] = true
+	s.mu.Unlock()
+	s.log.RemoveNode(id)
+}
+
+// DeleteEdges deletes all (src, etype, dst) edges (Table 1's
+// delete(nodeID, edgeType, destinationID)): LogStore entries are removed
+// directly; compressed fragments get lazy per-position deletion marks.
+func (s *Store) DeleteEdges(src layout.NodeID, etype layout.EdgeType, dst layout.NodeID) int {
+	removed := s.log.RemoveEdges(src, etype, dst)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.fragmentsOfLocked(src) {
+		ref, ok := sh.Edges().GetEdgeRecord(src, etype)
+		if !ok {
+			continue
+		}
+		key := shardEdgeRef{sh, src, etype}
+		dsts := sh.Edges().Destinations(ref)
+		for i, d := range dsts {
+			if d != dst || s.deletedPhys[key][i] {
+				continue
+			}
+			if s.deletedPhys[key] == nil {
+				s.deletedPhys[key] = make(map[int]bool)
+			}
+			s.deletedPhys[key][i] = true
+			removed++
+		}
+	}
+	return removed
+}
+
+// fragmentsOfLocked returns the compressed fragments that may hold data
+// for a node: its primary shard plus every frozen generation its update
+// pointers name (or, with fanned updates disabled, every frozen
+// fragment). Callers hold s.mu.
+func (s *Store) fragmentsOfLocked(id layout.NodeID) []*core.Shard {
+	out := []*core.Shard{s.primaries[s.partitionOf(id)]}
+	if s.cfg.DisableFannedUpdates {
+		return append(out, s.frozen...)
+	}
+	for _, g := range s.ptrs[id] {
+		if g < len(s.frozen) {
+			out = append(out, s.frozen[g])
+		}
+	}
+	return out
+}
+
+// maybeRolloverLocked freezes the LogStore into a new compressed shard
+// when it crosses the threshold. Callers hold s.mu.
+func (s *Store) maybeRolloverLocked() error {
+	if s.log.Size() < s.cfg.LogStoreThreshold {
+		return nil
+	}
+	nodes, edges := s.log.Contents()
+	sh, err := core.Build(nodes, edges, s.nodeSchema, s.edgeSchema,
+		core.Options{SamplingRate: s.cfg.SamplingRate, Medium: s.cfg.Medium})
+	if err != nil {
+		return fmt.Errorf("store: rollover: %w", err)
+	}
+	s.frozen = append(s.frozen, sh)
+	s.log = logstore.New(s.nodeSchema, s.edgeSchema, s.cfg.Medium, len(s.frozen))
+	s.rollovers++
+	return nil
+}
+
+// Rollovers returns how many LogStore freezes have happened.
+func (s *Store) Rollovers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rollovers
+}
+
+// NumFragments returns the total number of fragments (primary shards +
+// frozen generations + the live LogStore).
+func (s *Store) NumFragments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.primaries) + len(s.frozen) + 1
+}
+
+// FragmentsOf returns how many fragments hold data for node id (1 for
+// the primary + one per update-pointer generation). This is the quantity
+// Figures 10 and 11 plot.
+func (s *Store) FragmentsOf(id layout.NodeID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return 1 + len(s.ptrs[id])
+}
+
+// UpdatePointerStats returns the per-node fragment counts for every node
+// that has at least one update pointer.
+func (s *Store) UpdatePointerStats() map[layout.NodeID]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[layout.NodeID]int, len(s.ptrs))
+	for id, gens := range s.ptrs {
+		out[id] = 1 + len(gens)
+	}
+	return out
+}
+
+// CompressedFootprint returns the total compressed bytes across all
+// shards plus the live LogStore's accounted size.
+func (s *Store) CompressedFootprint() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, sh := range s.primaries {
+		total += int64(sh.CompressedSize())
+	}
+	for _, sh := range s.frozen {
+		total += int64(sh.CompressedSize())
+	}
+	return total + s.log.Size()
+}
+
+// RawSize returns the uncompressed flat-file bytes of the initial shards
+// (the denominator of Figure 5's footprint ratio).
+func (s *Store) RawSize() int64 {
+	var total int64
+	for _, sh := range s.primaries {
+		total += int64(sh.RawSize())
+	}
+	return total
+}
+
+// nodeGensLocked returns the fragments to consult for node id's property
+// record, newest first: LogStore (if pointed at), frozen generations
+// descending, then the primary (nil sentinel). Callers hold s.mu.
+func (s *Store) nodeGensLocked(id layout.NodeID) []int {
+	if s.cfg.DisableFannedUpdates {
+		gens := make([]int, len(s.frozen)+1)
+		for i := range gens {
+			gens[i] = len(s.frozen) - i // current LogStore first, then frozen
+		}
+		return gens
+	}
+	gens := append([]int(nil), s.ptrs[id]...)
+	sort.Sort(sort.Reverse(sort.IntSlice(gens)))
+	return gens
+}
+
+// GetNodeProps returns the values of the given properties for node id
+// (nil propertyIDs = wildcard: every schema property). The lookup
+// consults only the fragments the node's update pointers name — the
+// fanned-updates read path.
+func (s *Store) GetNodeProps(id layout.NodeID, propertyIDs []string) ([]string, bool) {
+	s.mu.RLock()
+	if s.deletedNodes[id] {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	gens := s.nodeGensLocked(id)
+	log := s.log
+	frozen := s.frozen
+	s.mu.RUnlock()
+
+	for _, g := range gens {
+		if g == len(frozen) {
+			if props, ok := log.NodeProps(id); ok {
+				return propsToValues(props, propertyIDs, s.nodeSchema), true
+			}
+			continue
+		}
+		if g > len(frozen) {
+			continue
+		}
+		if vals, ok := frozen[g].Nodes().GetProperties(id, propertyIDs); ok {
+			return vals, true
+		}
+	}
+	return s.primaries[s.partitionOf(id)].Nodes().GetProperties(id, propertyIDs)
+}
+
+// GetAllNodeProps returns the node's full property map.
+func (s *Store) GetAllNodeProps(id layout.NodeID) (map[string]string, bool) {
+	vals, ok := s.GetNodeProps(id, nil)
+	if !ok {
+		return nil, false
+	}
+	props := make(map[string]string)
+	for i, pid := range s.nodeSchema.IDs() {
+		if vals[i] != "" {
+			props[pid] = vals[i]
+		}
+	}
+	return props, true
+}
+
+// propsToValues projects a property map onto the requested IDs (nil =
+// all schema IDs in order).
+func propsToValues(props map[string]string, propertyIDs []string, schema *layout.PropertySchema) []string {
+	if len(propertyIDs) == 0 {
+		propertyIDs = schema.IDs()
+	}
+	out := make([]string, len(propertyIDs))
+	for i, pid := range propertyIDs {
+		out[i] = props[pid]
+	}
+	return out
+}
+
+// NodeMatches reports whether node id currently has every given
+// property value (resolving the newest version of the node).
+func (s *Store) NodeMatches(id layout.NodeID, props map[string]string) bool {
+	if len(props) == 0 {
+		return true
+	}
+	pids := make([]string, 0, len(props))
+	for pid := range props {
+		pids = append(pids, pid)
+	}
+	vals, ok := s.GetNodeProps(id, pids)
+	if !ok {
+		return false
+	}
+	for i, pid := range pids {
+		if vals[i] != props[pid] {
+			return false
+		}
+	}
+	return true
+}
+
+// FindNodes returns the IDs of all live nodes whose current properties
+// match every pair (Table 1's get_node_ids). Per §4.1, this is the one
+// query that must touch all fragments.
+func (s *Store) FindNodes(props map[string]string) []layout.NodeID {
+	if len(props) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	frozen := append([]*core.Shard(nil), s.frozen...)
+	log := s.log
+	s.mu.RUnlock()
+
+	seen := make(map[layout.NodeID]bool)
+	var out []layout.NodeID
+	consider := func(id layout.NodeID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		s.mu.RLock()
+		deleted := s.deletedNodes[id]
+		s.mu.RUnlock()
+		// Verify against the node's current version: a match in an old
+		// fragment may be stale.
+		if !deleted && s.NodeMatches(id, props) {
+			out = append(out, id)
+		}
+	}
+	for _, sh := range s.primaries {
+		for _, id := range sh.Nodes().FindNodes(props) {
+			consider(id)
+		}
+	}
+	for _, sh := range frozen {
+		for _, id := range sh.Nodes().FindNodes(props) {
+			consider(id)
+		}
+	}
+	for _, id := range log.FindNodes(props) {
+		consider(id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasNode reports whether a live property record exists for id.
+func (s *Store) HasNode(id layout.NodeID) bool {
+	_, ok := s.GetNodeProps(id, []string{})
+	return ok
+}
+
+// FindEdges returns every live edge whose property list matches all
+// pairs exactly — the edge-property search §3.3 sketches as a NodeFile-
+// style extension. Like FindNodes it touches every fragment.
+func (s *Store) FindEdges(props map[string]string) []layout.Edge {
+	if len(props) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []layout.Edge
+	collect := func(sh *core.Shard) {
+		for _, m := range sh.FindEdges(props) {
+			if s.deletedNodes[m.Src] {
+				continue
+			}
+			if s.deletedPhys[shardEdgeRef{sh, m.Src, m.Type}][m.TimeOrder] {
+				continue
+			}
+			ref, ok := sh.Edges().GetEdgeRecord(m.Src, m.Type)
+			if !ok {
+				continue
+			}
+			d, err := sh.Edges().GetEdgeData(ref, m.TimeOrder)
+			if err != nil {
+				continue
+			}
+			out = append(out, layout.Edge{
+				Src: m.Src, Dst: d.Dst, Type: m.Type,
+				Timestamp: d.Timestamp, Props: d.Props,
+			})
+		}
+	}
+	for _, sh := range s.primaries {
+		collect(sh)
+	}
+	for _, sh := range s.frozen {
+		collect(sh)
+	}
+	for _, e := range s.log.FindEdges(props) {
+		if !s.deletedNodes[e.Src] {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Timestamp < out[j].Timestamp
+	})
+	return out
+}

@@ -1,0 +1,143 @@
+package succinct
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KVStore is Succinct's key-value interface (§3.1 of the ZipG paper:
+// Succinct exposes "a flat file interface for executing queries on
+// unstructured data, and a key-value (KV) interface for queries on
+// semi-structured data"). Records are concatenated into one flat file
+// separated by a non-printable delimiter and compressed as a single
+// Store; a sorted (recordID, offset) index provides Get, and the flat
+// file's substring search provides SearchKeys ("keys whose value
+// contains string val").
+//
+// ZipG's NodeFile is a specialization of this layout (delimiter-encoded
+// property lists instead of opaque values); the KV interface is part of
+// the substrate in its own right and is used by tests and examples that
+// exercise Succinct directly.
+type KVStore struct {
+	store   *Store
+	ids     []int64
+	offsets []int64
+	delim   byte
+}
+
+// kvDelim separates records in the flat file. Values must not contain it.
+const kvDelim byte = 0x1E
+
+// BuildKV compresses a set of records. Keys are arbitrary int64s (they
+// are sorted internally); values are byte strings that must not contain
+// the 0x1E record separator.
+func BuildKV(records map[int64][]byte, opts Options) (*KVStore, error) {
+	ids := make([]int64, 0, len(records))
+	for id := range records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var flat []byte
+	offsets := make([]int64, len(ids))
+	for i, id := range ids {
+		v := records[id]
+		for _, b := range v {
+			if b == kvDelim {
+				return nil, fmt.Errorf("succinct: record %d contains the reserved separator 0x%02x", id, kvDelim)
+			}
+		}
+		offsets[i] = int64(len(flat))
+		flat = append(flat, v...)
+		flat = append(flat, kvDelim)
+	}
+	return &KVStore{
+		store:   Build(flat, opts),
+		ids:     ids,
+		offsets: offsets,
+		delim:   kvDelim,
+	}, nil
+}
+
+// Len returns the number of records.
+func (kv *KVStore) Len() int { return len(kv.ids) }
+
+// Keys returns the record IDs, ascending.
+func (kv *KVStore) Keys() []int64 { return kv.ids }
+
+// indexOf returns the index of id, or -1.
+func (kv *KVStore) indexOf(id int64) int {
+	k := sort.Search(len(kv.ids), func(i int) bool { return kv.ids[i] >= id })
+	if k < len(kv.ids) && kv.ids[k] == id {
+		return k
+	}
+	return -1
+}
+
+// Get returns the record's value (Succinct's get(recordID)).
+func (kv *KVStore) Get(id int64) ([]byte, bool) {
+	k := kv.indexOf(id)
+	if k < 0 {
+		return nil, false
+	}
+	end := int64(kv.store.InputLen())
+	if k+1 < len(kv.ids) {
+		end = kv.offsets[k+1] - 1 // strip the separator
+	} else {
+		end-- // trailing separator
+	}
+	n := int(end - kv.offsets[k])
+	if n == 0 {
+		return []byte{}, true
+	}
+	return kv.store.Extract(int(kv.offsets[k]), n), true
+}
+
+// Extract returns len bytes of the record's value starting at off —
+// random access *within* a record without materializing it.
+func (kv *KVStore) Extract(id int64, off, length int) ([]byte, bool) {
+	k := kv.indexOf(id)
+	if k < 0 || off < 0 {
+		return nil, false
+	}
+	out := kv.store.Extract(int(kv.offsets[k])+off, length)
+	// Truncate at the record boundary.
+	for i, b := range out {
+		if b == kv.delim {
+			out = out[:i]
+			break
+		}
+	}
+	return out, true
+}
+
+// SearchKeys returns the IDs of records whose value contains val
+// (Succinct's search(val) on the KV interface), ascending, each at most
+// once.
+func (kv *KVStore) SearchKeys(val []byte) []int64 {
+	if len(val) == 0 {
+		return nil
+	}
+	offs := kv.store.Search(val)
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, off := range offs {
+		k := sort.Search(len(kv.offsets), func(i int) bool { return kv.offsets[i] > off }) - 1
+		if k < 0 {
+			continue
+		}
+		id := kv.ids[k]
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CompressedSize returns the KV store's footprint in bytes, including
+// the record index.
+func (kv *KVStore) CompressedSize() int {
+	return kv.store.CompressedSize() + len(kv.ids)*16
+}

@@ -1,0 +1,162 @@
+package succinct
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestKV(t testing.TB, records map[int64][]byte) *KVStore {
+	t.Helper()
+	kv, err := BuildKV(records, Options{SamplingRate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kv
+}
+
+func TestKVGet(t *testing.T) {
+	records := map[int64][]byte{
+		10: []byte("alice lives in ithaca"),
+		3:  []byte("bob lives in princeton"),
+		77: []byte("eve"),
+		5:  {}, // empty value
+	}
+	kv := buildTestKV(t, records)
+	if kv.Len() != 4 {
+		t.Fatalf("Len = %d", kv.Len())
+	}
+	for id, want := range records {
+		got, ok := kv.Get(id)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) = %q,%v want %q", id, got, ok, want)
+		}
+	}
+	if _, ok := kv.Get(999); ok {
+		t.Fatal("missing record found")
+	}
+	if !reflect.DeepEqual(kv.Keys(), []int64{3, 5, 10, 77}) {
+		t.Fatalf("Keys = %v", kv.Keys())
+	}
+}
+
+func TestKVSearchKeys(t *testing.T) {
+	records := map[int64][]byte{
+		1: []byte("the quick brown fox"),
+		2: []byte("quick silver"),
+		3: []byte("slow snail"),
+		4: []byte("quick quick quick"), // multiple hits, one key
+	}
+	kv := buildTestKV(t, records)
+	if got := kv.SearchKeys([]byte("quick")); !reflect.DeepEqual(got, []int64{1, 2, 4}) {
+		t.Fatalf("SearchKeys(quick) = %v", got)
+	}
+	if got := kv.SearchKeys([]byte("snail")); !reflect.DeepEqual(got, []int64{3}) {
+		t.Fatalf("SearchKeys(snail) = %v", got)
+	}
+	if got := kv.SearchKeys([]byte("absent")); got != nil {
+		t.Fatalf("SearchKeys(absent) = %v", got)
+	}
+	if got := kv.SearchKeys(nil); got != nil {
+		t.Fatalf("SearchKeys(empty) = %v", got)
+	}
+	// A pattern spanning a record boundary must not match: "fox" ends
+	// record 1 and "quick" starts record 2, but "foxquick" crosses the
+	// separator.
+	if got := kv.SearchKeys([]byte("foxquick")); got != nil {
+		t.Fatalf("cross-record match: %v", got)
+	}
+}
+
+func TestKVExtractWithinRecord(t *testing.T) {
+	kv := buildTestKV(t, map[int64][]byte{
+		1: []byte("0123456789"),
+		2: []byte("abcdef"),
+	})
+	got, ok := kv.Extract(1, 3, 4)
+	if !ok || string(got) != "3456" {
+		t.Fatalf("Extract = %q,%v", got, ok)
+	}
+	// Extraction past the record end stops at the boundary.
+	got, _ = kv.Extract(1, 8, 10)
+	if string(got) != "89" {
+		t.Fatalf("boundary extract = %q", got)
+	}
+	if _, ok := kv.Extract(99, 0, 1); ok {
+		t.Fatal("missing record extract succeeded")
+	}
+}
+
+func TestKVRejectsSeparator(t *testing.T) {
+	if _, err := BuildKV(map[int64][]byte{1: {0x1E}}, Options{}); err == nil {
+		t.Fatal("reserved byte accepted")
+	}
+}
+
+func TestKVQuickRoundTrip(t *testing.T) {
+	// Property: any set of printable records round-trips through the
+	// compressed KV store, and SearchKeys finds every record by a
+	// substring of its own value.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		records := make(map[int64][]byte)
+		for i := 0; i < int(n%20)+1; i++ {
+			v := make([]byte, rng.Intn(40))
+			for j := range v {
+				v[j] = byte('a' + rng.Intn(26))
+			}
+			records[int64(rng.Intn(1000))] = v
+		}
+		kv, err := BuildKV(records, Options{SamplingRate: 8})
+		if err != nil {
+			return false
+		}
+		for id, want := range records {
+			got, ok := kv.Get(id)
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+			if len(want) >= 3 {
+				found := false
+				for _, hit := range kv.SearchKeys(want[:3]) {
+					if hit == id {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVCompresses(t *testing.T) {
+	// Records long enough that the per-record index (16 B each) does not
+	// dominate; values are highly repetitive.
+	records := make(map[int64][]byte)
+	sentence := "lives in ithaca and works at the university of the lake; "
+	for i := int64(0); i < 1500; i++ {
+		records[i] = []byte(fmt.Sprintf("user profile %d %s%s%s", i%7, sentence, sentence, sentence))
+	}
+	kv, err := BuildKV(records, Options{SamplingRate: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw int
+	for _, v := range records {
+		raw += len(v) + 1
+	}
+	ratio := float64(kv.CompressedSize()) / float64(raw)
+	t.Logf("kv: %d raw -> %d compressed (%.2fx)", raw, kv.CompressedSize(), ratio)
+	if ratio > 0.9 {
+		t.Errorf("repetitive KV data did not compress: %.2f", ratio)
+	}
+}

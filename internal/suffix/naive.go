@@ -1,0 +1,27 @@
+package suffix
+
+import "sort"
+
+// NaiveArray computes the suffix array by direct comparison sort. It uses
+// the same sentinel convention as Array and exists purely as a reference
+// implementation for differential tests; it is O(n^2 log n) in the worst
+// case and must not be used on large inputs.
+func NaiveArray(text []byte) []int32 {
+	n := len(text) + 1
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(x, y int) bool {
+		a, b := sa[x], sa[y]
+		// The sentinel suffix (position n-1) is smaller than everything.
+		sufA, sufB := text[a:], text[b:]
+		for k := 0; k < len(sufA) && k < len(sufB); k++ {
+			if sufA[k] != sufB[k] {
+				return sufA[k] < sufB[k]
+			}
+		}
+		return len(sufA) < len(sufB)
+	})
+	return sa
+}

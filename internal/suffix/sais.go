@@ -1,0 +1,205 @@
+// Package suffix implements suffix-array construction. The production
+// path is SA-IS (Nong, Zhang, Chan 2009), which runs in linear time and
+// is what makes building the succinct representation of multi-megabyte
+// NodeFiles and EdgeFiles practical. A naive O(n^2 log n) reference
+// implementation is provided for differential testing.
+package suffix
+
+// Array computes the suffix array of text. The returned slice sa has
+// length len(text)+1: position 0 corresponds to the implicit empty
+// suffix/sentinel, mirroring the convention of the succinct literature
+// where a unique smallest sentinel terminates the text. text may contain
+// any byte values including 0; the sentinel is logically smaller than
+// every byte.
+func Array(text []byte) []int32 {
+	n := len(text) + 1
+	s := make([]int32, n)
+	for i, c := range text {
+		// Shift byte values by 1 so the sentinel can be 0 even when the
+		// text itself contains zero bytes.
+		s[i] = int32(c) + 1
+	}
+	s[n-1] = 0
+	return saIS(s, 257)
+}
+
+// saIS computes the suffix array of s, whose values lie in [0, sigma) and
+// whose last element is a unique 0 (the sentinel).
+func saIS(s []int32, sigma int) []int32 {
+	n := len(s)
+	sa := make([]int32, n)
+	if n == 1 {
+		sa[0] = 0
+		return sa
+	}
+	if n == 2 {
+		sa[0], sa[1] = 1, 0
+		return sa
+	}
+
+	// Classify each position as S-type (true) or L-type (false).
+	sType := make([]bool, n)
+	sType[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		sType[i] = s[i] < s[i+1] || (s[i] == s[i+1] && sType[i+1])
+	}
+	isLMS := func(i int) bool { return i > 0 && sType[i] && !sType[i-1] }
+
+	bktSize := make([]int32, sigma)
+	for _, c := range s {
+		bktSize[c]++
+	}
+	bktHead := make([]int32, sigma)
+	bktTail := make([]int32, sigma)
+	resetBuckets := func() {
+		var sum int32
+		for c := 0; c < sigma; c++ {
+			bktHead[c] = sum
+			sum += bktSize[c]
+			bktTail[c] = sum
+		}
+	}
+
+	// induce sorts all suffixes given the LMS suffixes already placed at
+	// their bucket tails in sa (remaining entries are -1).
+	induce := func() {
+		// Induce L-type suffixes left to right.
+		resetBuckets()
+		for i := 0; i < n; i++ {
+			j := sa[i]
+			if j <= 0 {
+				continue
+			}
+			if !sType[j-1] {
+				c := s[j-1]
+				sa[bktHead[c]] = j - 1
+				bktHead[c]++
+			}
+		}
+		// Induce S-type suffixes right to left.
+		resetBuckets()
+		for i := n - 1; i >= 0; i-- {
+			j := sa[i]
+			if j <= 0 {
+				continue
+			}
+			if sType[j-1] {
+				c := s[j-1]
+				bktTail[c]--
+				sa[bktTail[c]] = j - 1
+			}
+		}
+	}
+
+	// Pass 1: place LMS positions at bucket tails in text order, induce to
+	// obtain the relative order of LMS substrings.
+	for i := range sa {
+		sa[i] = -1
+	}
+	resetBuckets()
+	for i := n - 1; i >= 0; i-- {
+		if isLMS(i) {
+			c := s[i]
+			bktTail[c]--
+			sa[bktTail[c]] = int32(i)
+		}
+	}
+	induce()
+
+	// Collect LMS suffixes in their induced order and name the LMS
+	// substrings.
+	nLMS := 0
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			nLMS++
+		}
+	}
+	sortedLMS := make([]int32, 0, nLMS)
+	for _, j := range sa {
+		if j > 0 && isLMS(int(j)) {
+			sortedLMS = append(sortedLMS, j)
+		}
+	}
+	// names[i] is the rank of the LMS substring starting at text position
+	// i (only valid for LMS positions).
+	names := make([]int32, n)
+	for i := range names {
+		names[i] = -1
+	}
+	name := int32(0)
+	var prev int32 = -1
+	for _, cur := range sortedLMS {
+		if prev >= 0 && !lmsEqual(s, sType, isLMS, int(prev), int(cur)) {
+			name++
+		}
+		names[cur] = name
+		prev = cur
+	}
+	numNames := int(name) + 1
+
+	// Build the reduced problem: LMS substrings in text order, replaced by
+	// their names.
+	reduced := make([]int32, 0, nLMS)
+	lmsPos := make([]int32, 0, nLMS)
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			reduced = append(reduced, names[i])
+			lmsPos = append(lmsPos, int32(i))
+		}
+	}
+
+	var lmsOrder []int32
+	if numNames == nLMS {
+		// All names unique: the induced order is already the suffix order.
+		lmsOrder = sortedLMS
+	} else {
+		// Recurse on the reduced string (its last element is the sentinel's
+		// LMS substring, which is the unique minimum by construction).
+		subSA := saIS(reduced, numNames)
+		lmsOrder = make([]int32, nLMS)
+		for i, r := range subSA {
+			lmsOrder[i] = lmsPos[r]
+		}
+	}
+
+	// Pass 2: place the now fully sorted LMS suffixes at bucket tails and
+	// induce the final suffix array.
+	for i := range sa {
+		sa[i] = -1
+	}
+	resetBuckets()
+	for i := nLMS - 1; i >= 0; i-- {
+		j := lmsOrder[i]
+		c := s[j]
+		bktTail[c]--
+		sa[bktTail[c]] = j
+	}
+	induce()
+	return sa
+}
+
+// lmsEqual reports whether the LMS substrings starting at a and b are
+// identical (same characters and same types up to and including the next
+// LMS position).
+func lmsEqual(s []int32, sType []bool, isLMS func(int) bool, a, b int) bool {
+	n := len(s)
+	if a == n-1 || b == n-1 {
+		return a == b
+	}
+	for i := 0; ; i++ {
+		aEnd := isLMS(a + i)
+		bEnd := isLMS(b + i)
+		if i > 0 && aEnd && bEnd {
+			return true
+		}
+		if aEnd != bEnd {
+			return false
+		}
+		if s[a+i] != s[b+i] || sType[a+i] != sType[b+i] {
+			return false
+		}
+		if a+i+1 >= n || b+i+1 >= n {
+			return false
+		}
+	}
+}

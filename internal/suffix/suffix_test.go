@@ -1,0 +1,142 @@
+package suffix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkAgainstNaive(t *testing.T, text []byte) {
+	t.Helper()
+	got := Array(text)
+	want := NaiveArray(text)
+	if len(got) != len(want) {
+		t.Fatalf("len mismatch for %q: got %d, want %d", text, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SA mismatch for %q at %d: got %v, want %v", text, i, got, want)
+		}
+	}
+}
+
+func TestArrayKnown(t *testing.T) {
+	// Classic example: banana. Suffix order with sentinel:
+	// "", a, ana, anana, banana, na, nana.
+	got := Array([]byte("banana"))
+	want := []int32{6, 5, 3, 1, 0, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("banana SA = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArraySmall(t *testing.T) {
+	cases := []string{
+		"", "a", "aa", "ab", "ba", "aaa", "abab", "mississippi",
+		"abracadabra", "zzzzzzzz", "abcabcabc", "cacao",
+	}
+	for _, c := range cases {
+		checkAgainstNaive(t, []byte(c))
+	}
+}
+
+func TestArrayWithZeroBytes(t *testing.T) {
+	// The text may legitimately contain 0x00; the sentinel must still sort
+	// below it.
+	checkAgainstNaive(t, []byte{0, 1, 0, 2, 0, 0, 3})
+	checkAgainstNaive(t, []byte{0, 0, 0})
+	checkAgainstNaive(t, []byte{255, 0, 255, 0})
+}
+
+func TestArrayRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(500)
+		sigma := 1 + rng.Intn(8)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(sigma))
+		}
+		checkAgainstNaive(t, text)
+	}
+}
+
+func TestArrayRandomFullAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		text := make([]byte, 300+rng.Intn(300))
+		rng.Read(text)
+		checkAgainstNaive(t, text)
+	}
+}
+
+func TestArrayIsPermutationAndSorted(t *testing.T) {
+	// Property: Array returns a permutation of [0,n] whose suffixes are in
+	// strictly increasing order.
+	f := func(text []byte) bool {
+		if len(text) > 2000 {
+			text = text[:2000]
+		}
+		sa := Array(text)
+		n := len(text) + 1
+		seen := make([]bool, n)
+		for _, p := range sa {
+			if p < 0 || int(p) >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		for i := 1; i < n; i++ {
+			a, b := text[sa[i-1]:], text[sa[i]:]
+			if c := bytes.Compare(a, b); c > 0 || (c == 0 && len(a) >= len(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayLargeRepetitive(t *testing.T) {
+	// Highly repetitive input exercises deep SA-IS recursion.
+	text := bytes.Repeat([]byte("abcabd"), 5000)
+	sa := Array(text)
+	n := len(text) + 1
+	if len(sa) != n {
+		t.Fatalf("len = %d, want %d", len(sa), n)
+	}
+	// Spot check sortedness at random positions rather than O(n^2) full check.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		i := 1 + rng.Intn(n-1)
+		a, b := text[sa[i-1]:], text[sa[i]:]
+		limit := 50
+		if len(a) < limit {
+			limit = len(a)
+		}
+		if len(b) < limit {
+			limit = len(b)
+		}
+		if c := bytes.Compare(a[:limit], b[:limit]); c > 0 {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+}
+
+func BenchmarkArray1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	text := make([]byte, 1<<20)
+	for i := range text {
+		text[i] = byte('a' + rng.Intn(26))
+	}
+	b.ResetTimer()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		Array(text)
+	}
+}

@@ -1,0 +1,223 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zipg/internal/gen"
+	"zipg/internal/graphapi"
+)
+
+// OpKind enumerates the TAO/LinkBench operations (Table 2).
+type OpKind int
+
+// The eleven operations of Table 2.
+const (
+	OpAssocRange OpKind = iota
+	OpObjGet
+	OpAssocGet
+	OpAssocCount
+	OpAssocTimeRange
+	OpAssocAdd
+	OpObjUpdate
+	OpObjAdd
+	OpAssocDel
+	OpObjDel
+	OpAssocUpdate
+	numOpKinds
+)
+
+// String returns the TAO operation name.
+func (k OpKind) String() string {
+	return [...]string{
+		"assoc_range", "obj_get", "assoc_get", "assoc_count",
+		"assoc_time_range", "assoc_add", "obj_update", "obj_add",
+		"assoc_del", "obj_del", "assoc_update",
+	}[k]
+}
+
+// Frequencies are per-mille op weights. The two mixes below are the
+// exact percentages of Table 2 (scaled ×100 to keep sub-percent ops).
+type Frequencies [numOpKinds]int
+
+// TAOMix is Table 2's TAO column: read-dominated (99.8% reads).
+var TAOMix = Frequencies{
+	OpAssocRange:     4080,
+	OpObjGet:         2880,
+	OpAssocGet:       1570,
+	OpAssocCount:     1170,
+	OpAssocTimeRange: 280,
+	OpAssocAdd:       10,
+	OpObjUpdate:      4,
+	OpObjAdd:         3,
+	OpAssocDel:       2,
+	OpObjDel:         1,
+	OpAssocUpdate:    1,
+}
+
+// LinkBenchMix is Table 2's LinkBench column: write-heavy (≈31% writes).
+var LinkBenchMix = Frequencies{
+	OpAssocRange:     5060,
+	OpObjGet:         1290,
+	OpAssocGet:       52,
+	OpAssocCount:     490,
+	OpAssocTimeRange: 15,
+	OpAssocAdd:       900,
+	OpObjUpdate:      740,
+	OpObjAdd:         260,
+	OpAssocDel:       300,
+	OpObjDel:         100,
+	OpAssocUpdate:    800,
+}
+
+// Op is one pre-generated operation, ready to execute against any store.
+type Op struct {
+	Kind  OpKind
+	ID    graphapi.NodeID
+	AType graphapi.EdgeType
+	Idx   int
+	Limit int
+	Lo    int64
+	Hi    int64
+	ID2   map[graphapi.NodeID]bool
+	Props map[string]string
+	Edge  graphapi.Edge
+}
+
+// MixConfig parameterizes operation generation.
+type MixConfig struct {
+	Mix Frequencies
+	// AccessSkew is the Zipf exponent for node selection (0/1 = uniform).
+	// LinkBench uses a strong skew (§5.2).
+	AccessSkew float64
+	Seed       int64
+}
+
+// GenerateOps pre-generates n operations over the dataset. Operations
+// are generated, not sampled live, so each system executes the identical
+// sequence.
+func GenerateOps(d *gen.Dataset, cfg MixConfig, n int) []Op {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	access := gen.NewAccess(cfg.Seed+1, d.NumNodes(), cfg.AccessSkew)
+	total := 0
+	for _, w := range cfg.Mix {
+		total += w
+	}
+	if total == 0 {
+		panic("workloads: empty mix")
+	}
+	nTypes := d.Spec.NumEdgeTypes
+	if nTypes <= 0 {
+		nTypes = 5
+	}
+	nextID := int64(d.NumNodes()) + 1_000_000 // fresh IDs for obj_add
+	ops := make([]Op, n)
+	for i := range ops {
+		r := rng.Intn(total)
+		var kind OpKind
+		for k, w := range cfg.Mix {
+			if r < w {
+				kind = OpKind(k)
+				break
+			}
+			r -= w
+		}
+		op := Op{Kind: kind, ID: access.Next(), AType: int64(rng.Intn(nTypes))}
+		switch kind {
+		case OpAssocRange:
+			op.Idx = rng.Intn(8)
+			op.Limit = 1 + rng.Intn(32)
+		case OpAssocGet:
+			op.Lo, op.Hi = randTimeRange(rng)
+			op.ID2 = map[graphapi.NodeID]bool{}
+			for j := 0; j < 4; j++ {
+				op.ID2[int64(rng.Intn(d.NumNodes()))] = true
+			}
+		case OpAssocTimeRange:
+			op.Lo, op.Hi = randTimeRange(rng)
+			op.Limit = 1 + rng.Intn(32)
+		case OpObjAdd:
+			op.ID = nextID
+			nextID++
+			op.Props = sampleProps(d, rng)
+		case OpObjUpdate:
+			op.Props = sampleProps(d, rng)
+		case OpAssocAdd, OpAssocUpdate:
+			op.Edge = graphapi.Edge{
+				Src:       op.ID,
+				Dst:       int64(rng.Intn(d.NumNodes())),
+				Type:      op.AType,
+				Timestamp: randTimestamp(rng),
+				Props:     map[string]string{"edgedata": d.SampleValue(rng, "edgedata")},
+			}
+		case OpAssocDel:
+			op.Edge = graphapi.Edge{Src: op.ID, Dst: int64(rng.Intn(d.NumNodes())), Type: op.AType}
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+func sampleProps(d *gen.Dataset, rng *rand.Rand) map[string]string {
+	props := make(map[string]string)
+	for _, pid := range d.PropertyIDs() {
+		props[pid] = d.SampleValue(rng, pid)
+	}
+	return props
+}
+
+func randTimestamp(rng *rand.Rand) int64 {
+	return 1_400_000_000 + rng.Int63n(50*24*3600)
+}
+
+func randTimeRange(rng *rand.Rand) (int64, int64) {
+	lo := randTimestamp(rng)
+	return lo, lo + rng.Int63n(5*24*3600)
+}
+
+// Execute runs one operation, returning a result cardinality (for
+// sanity checks) and an error.
+func Execute(s graphapi.Store, op Op) (int, error) {
+	t := TAO{S: s}
+	switch op.Kind {
+	case OpAssocRange:
+		res, err := t.AssocRange(op.ID, op.AType, op.Idx, op.Limit)
+		return len(res), err
+	case OpObjGet:
+		vals, _ := t.ObjGet(op.ID)
+		return len(vals), nil
+	case OpAssocGet:
+		res, err := t.AssocGet(op.ID, op.AType, op.ID2, op.Lo, op.Hi)
+		return len(res), err
+	case OpAssocCount:
+		return t.AssocCount(op.ID, op.AType), nil
+	case OpAssocTimeRange:
+		res, err := t.AssocTimeRange(op.ID, op.AType, op.Lo, op.Hi, op.Limit)
+		return len(res), err
+	case OpAssocAdd:
+		return 1, t.AssocAdd(op.Edge)
+	case OpObjUpdate:
+		return 1, t.ObjUpdate(op.ID, op.Props)
+	case OpObjAdd:
+		return 1, t.ObjAdd(op.ID, op.Props)
+	case OpAssocDel:
+		return 1, t.AssocDel(op.Edge.Src, op.Edge.Type, op.Edge.Dst)
+	case OpObjDel:
+		return 1, t.ObjDel(op.ID)
+	case OpAssocUpdate:
+		return 1, t.AssocUpdate(op.Edge)
+	}
+	return 0, fmt.Errorf("workloads: unknown op kind %d", op.Kind)
+}
+
+// FilterKind returns only the ops of one kind (for the per-query
+// breakdowns of Figures 6–8).
+func FilterKind(ops []Op, kind OpKind) []Op {
+	var out []Op
+	for _, op := range ops {
+		if op.Kind == kind {
+			out = append(out, op)
+		}
+	}
+	return out
+}

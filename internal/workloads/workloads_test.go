@@ -1,0 +1,212 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"zipg"
+	"zipg/internal/gen"
+	"zipg/internal/graphapi"
+	"zipg/internal/refgraph"
+)
+
+func testDataset(t testing.TB) *gen.Dataset {
+	t.Helper()
+	return gen.DatasetSpec{
+		Name: "wl", Kind: gen.RealWorld, TargetBytes: 120_000,
+		AvgDegree: 8, NumEdgeTypes: 3, Seed: 31,
+	}.Generate()
+}
+
+func testStores(t testing.TB, d *gen.Dataset) (graphapi.Store, graphapi.Store) {
+	t.Helper()
+	g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{SamplingRate: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, refgraph.New(d.Nodes, d.Edges)
+}
+
+func TestMixFrequenciesMatchTable2(t *testing.T) {
+	// The mixes must sum to 100% and preserve Table 2's ordering facts:
+	// TAO is read-dominated, LinkBench write-heavy.
+	sum := func(f Frequencies) int {
+		s := 0
+		for _, w := range f {
+			s += w
+		}
+		return s
+	}
+	if got := sum(TAOMix); got != 10001 { // ≈100%; sub-percent ops keep 1/10000 grains
+		t.Errorf("TAO mix sums to %d", got)
+	}
+	if got := sum(LinkBenchMix); got != 10007 {
+		t.Errorf("LinkBench mix sums to %d", got)
+	}
+	writes := func(f Frequencies) float64 {
+		w := f[OpAssocAdd] + f[OpObjUpdate] + f[OpObjAdd] + f[OpAssocDel] + f[OpObjDel] + f[OpAssocUpdate]
+		return float64(w) / float64(sum(f))
+	}
+	if w := writes(TAOMix); w > 0.005 {
+		t.Errorf("TAO writes fraction %.4f, want < 0.5%%", w)
+	}
+	if w := writes(LinkBenchMix); w < 0.25 || w > 0.35 {
+		t.Errorf("LinkBench writes fraction %.4f, want ~31%%", w)
+	}
+}
+
+func TestGenerateOpsDeterministicAndDistributed(t *testing.T) {
+	d := testDataset(t)
+	cfg := MixConfig{Mix: TAOMix, Seed: 5}
+	a := GenerateOps(d, cfg, 5000)
+	b := GenerateOps(d, cfg, 5000)
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].ID != b[i].ID {
+			t.Fatal("op generation not deterministic")
+		}
+	}
+	counts := map[OpKind]int{}
+	for _, op := range a {
+		counts[op.Kind]++
+	}
+	// assoc_range should be ≈40.8% of ops.
+	frac := float64(counts[OpAssocRange]) / float64(len(a))
+	if frac < 0.35 || frac < 0.01 {
+		t.Errorf("assoc_range fraction %.3f, want ≈0.408", frac)
+	}
+	if counts[OpObjGet] == 0 || counts[OpAssocCount] == 0 {
+		t.Error("major op kinds missing from generated stream")
+	}
+}
+
+func TestTAOOpsAgreeWithReference(t *testing.T) {
+	d := testDataset(t)
+	g, ref := testStores(t, d)
+	ops := GenerateOps(d, MixConfig{Mix: LinkBenchMix, AccessSkew: 1.3, Seed: 6}, 2000)
+	for i, op := range ops {
+		gotN, err := Execute(g, op)
+		if err != nil {
+			t.Fatalf("op %d (%v) on zipg: %v", i, op.Kind, err)
+		}
+		wantN, err := Execute(ref, op)
+		if err != nil {
+			t.Fatalf("op %d (%v) on ref: %v", i, op.Kind, err)
+		}
+		if gotN != wantN {
+			t.Fatalf("op %d (%v id=%d atype=%d): cardinality %d, want %d",
+				i, op.Kind, op.ID, op.AType, gotN, wantN)
+		}
+	}
+}
+
+func TestAlgorithmsOnKnownGraph(t *testing.T) {
+	// A tiny graph with known timestamps validates Algorithms 1-3 edge
+	// by edge.
+	nodes := []graphapi.Node{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	var edges []graphapi.Edge
+	for i := 0; i < 10; i++ {
+		edges = append(edges, graphapi.Edge{Src: 0, Dst: int64(1 + i%3), Type: 0, Timestamp: int64(i * 100)})
+	}
+	g, err := zipg.Compress(zipg.GraphData{Nodes: nodes, Edges: edges}, zipg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tao := TAO{S: g}
+
+	// Algorithm 1: 3 edges starting at index 2.
+	res, err := tao.AssocRange(0, 0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].Timestamp != 200 || res[2].Timestamp != 400 {
+		t.Fatalf("AssocRange = %+v", res)
+	}
+	// Algorithm 2: timestamps in [300,700) with dst filter.
+	res, err = tao.AssocGet(0, 0, map[graphapi.NodeID]bool{1: true}, 300, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res {
+		if e.Dst != 1 || e.Timestamp < 300 || e.Timestamp >= 700 {
+			t.Fatalf("AssocGet returned %+v", e)
+		}
+	}
+	// Algorithm 3: limit cuts the range.
+	res, err = tao.AssocTimeRange(0, 0, 0, 10_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 || res[0].Timestamp != 0 {
+		t.Fatalf("AssocTimeRange = %+v", res)
+	}
+	// assoc_count.
+	if got := tao.AssocCount(0, 0); got != 10 {
+		t.Fatalf("AssocCount = %d", got)
+	}
+	if got := tao.AssocCount(0, 9); got != 0 {
+		t.Fatalf("AssocCount missing type = %d", got)
+	}
+	// Missing node behaves as empty, not error.
+	if res, err := tao.AssocRange(99, 0, 0, 5); err != nil || res != nil {
+		t.Fatalf("AssocRange on missing node: %v %v", res, err)
+	}
+}
+
+func TestGraphSearchAgreesAndJoinsMatch(t *testing.T) {
+	d := testDataset(t)
+	g, ref := testStores(t, d)
+	ops := GenerateGSOps(d, 7, 200)
+	kinds := map[GSKind]int{}
+	for i, op := range ops {
+		kinds[op.Kind]++
+		got := ExecuteGS(g, op, false)
+		want := ExecuteGS(ref, op, false)
+		if got != want {
+			t.Fatalf("GS op %d (%v): %d results, want %d", i, op.Kind, got, want)
+		}
+		// Join and no-join plans must agree on GS2/GS3 (Appendix B.3).
+		if op.Kind == KindGS2 || op.Kind == KindGS3 {
+			if j := ExecuteGS(g, op, true); j != got {
+				t.Fatalf("GS op %d (%v): join=%d no-join=%d", i, op.Kind, j, got)
+			}
+		}
+	}
+	// Equal proportions (Table 3).
+	for k, c := range kinds {
+		if c != len(ops)/int(numGSKinds) {
+			t.Errorf("kind %v count %d, want %d", k, c, len(ops)/int(numGSKinds))
+		}
+	}
+}
+
+func TestGS2JoinEqualsFilterPlanExactly(t *testing.T) {
+	d := testDataset(t)
+	g, _ := testStores(t, d)
+	for id := int64(0); id < 10; id++ {
+		p1 := map[string]string{"prop00": d.Vocab["prop00"][0]}
+		a := GS2(g, id, p1)
+		b := GS2Join(g, id, p1)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("id %d: filter plan %v != join plan %v", id, a, b)
+		}
+	}
+}
+
+func TestFilterKind(t *testing.T) {
+	d := testDataset(t)
+	ops := GenerateOps(d, MixConfig{Mix: TAOMix, Seed: 8}, 1000)
+	only := FilterKind(ops, OpObjGet)
+	if len(only) == 0 {
+		t.Fatal("no obj_get ops")
+	}
+	for _, op := range only {
+		if op.Kind != OpObjGet {
+			t.Fatal("FilterKind leaked other kinds")
+		}
+	}
+	gs := GenerateGSOps(d, 9, 100)
+	onlyGS := FilterGSKind(gs, KindGS3)
+	if len(onlyGS) != 20 {
+		t.Fatalf("FilterGSKind = %d, want 20", len(onlyGS))
+	}
+}

@@ -1,0 +1,347 @@
+package zipg
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// exampleGraph is the running example from the paper's Figures 1 and 2:
+// Alice, Bob, Eve with node properties, plus typed, timestamped edges.
+func exampleGraph() GraphData {
+	const (
+		alice = NodeID(0)
+		bob   = NodeID(1)
+		eve   = NodeID(2)
+	)
+	const friend, comment = EdgeType(0), EdgeType(1)
+	return GraphData{
+		Nodes: []Node{
+			{ID: alice, Props: map[string]string{"nickname": "Ally", "age": "42", "location": "Ithaca"}},
+			{ID: bob, Props: map[string]string{"nickname": "Bobby", "location": "Princeton"}},
+			{ID: eve, Props: map[string]string{"age": "24", "nickname": "Cat"}},
+		},
+		Edges: []Edge{
+			{Src: alice, Dst: bob, Type: friend, Timestamp: 100},
+			{Src: alice, Dst: eve, Type: friend, Timestamp: 200},
+			{Src: alice, Dst: bob, Type: comment, Timestamp: 150, Props: map[string]string{"text": "hello"}},
+			{Src: bob, Dst: alice, Type: friend, Timestamp: 100},
+		},
+	}
+}
+
+func compressExample(t testing.TB) *Graph {
+	t.Helper()
+	g, err := Compress(exampleGraph(), Options{SamplingRate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	g := compressExample(t)
+
+	// "Get Alice's age and location."
+	vals, ok := g.GetNodeProperty(0, []string{"age", "location"})
+	if !ok || vals[0] != "42" || vals[1] != "Ithaca" {
+		t.Fatalf("Alice's props = %v", vals)
+	}
+	// Wildcard property query.
+	all, _ := g.GetNodeProperty(0, nil)
+	if len(all) != 3 { // age, location, nickname in schema order
+		t.Fatalf("wildcard props = %v", all)
+	}
+
+	// "Find people in Ithaca."
+	if ids := g.GetNodeIDs(map[string]string{"location": "Ithaca"}); !reflect.DeepEqual(ids, []NodeID{0}) {
+		t.Fatalf("GetNodeIDs = %v", ids)
+	}
+
+	// "Find Alice's friends who live in Princeton."
+	if ids := g.GetNeighborIDs(0, 0, map[string]string{"location": "Princeton"}); !reflect.DeepEqual(ids, []NodeID{1}) {
+		t.Fatalf("filtered neighbors = %v", ids)
+	}
+	// All friends of Alice (wildcard property filter).
+	if ids := g.GetNeighborIDs(0, 0, nil); !reflect.DeepEqual(ids, []NodeID{1, 2}) {
+		t.Fatalf("friends = %v", ids)
+	}
+	// All neighbors of Alice across edge types.
+	if ids := g.GetNeighborIDs(0, WildcardType, nil); !reflect.DeepEqual(ids, []NodeID{1, 2}) {
+		t.Fatalf("wildcard-type neighbors = %v", ids)
+	}
+
+	// "Get all information on Alice's friends" via the edge record.
+	rec, ok := g.GetEdgeRecord(0, 0)
+	if !ok || rec.Count() != 2 {
+		t.Fatalf("edge record count = %d", rec.Count())
+	}
+	// "Find Alice's most recent friend": last TimeOrder.
+	d, err := rec.Data(rec.Count() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dst != 2 || d.Timestamp != 200 {
+		t.Fatalf("most recent friend = %+v", d)
+	}
+	// Edge property round trip.
+	crec, _ := g.GetEdgeRecord(0, 1)
+	cd, _ := crec.Data(0)
+	if cd.Props["text"] != "hello" {
+		t.Fatalf("comment props = %v", cd.Props)
+	}
+
+	// Time-range query with wildcards.
+	if beg, end := rec.Range(WildcardTime, WildcardTime); beg != 0 || end != 2 {
+		t.Fatalf("wildcard range = [%d,%d)", beg, end)
+	}
+	if beg, end := rec.Range(150, WildcardTime); beg != 1 || end != 2 {
+		t.Fatalf("half-open range = [%d,%d)", beg, end)
+	}
+
+	// Wildcard edge record query.
+	if recs := g.GetEdgeRecords(0); len(recs) != 2 {
+		t.Fatalf("GetEdgeRecords = %d records", len(recs))
+	}
+}
+
+func TestAppendAndDelete(t *testing.T) {
+	g := compressExample(t)
+
+	// "Append new node for Alice" — here a new node Dan.
+	if err := g.AppendNode(3, map[string]string{"nickname": "Dan", "location": "Ithaca"}); err != nil {
+		t.Fatal(err)
+	}
+	if ids := g.GetNodeIDs(map[string]string{"location": "Ithaca"}); !reflect.DeepEqual(ids, []NodeID{0, 3}) {
+		t.Fatalf("after append, Ithaca = %v", ids)
+	}
+	// "Append new edges for Alice."
+	if err := g.AppendEdge(Edge{Src: 0, Dst: 3, Type: 0, Timestamp: 300}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := g.GetEdgeRecord(0, 0)
+	if rec.Count() != 3 {
+		t.Fatalf("count after append = %d", rec.Count())
+	}
+	d, _ := rec.Data(2)
+	if d.Dst != 3 {
+		t.Fatalf("newest edge dst = %d", d.Dst)
+	}
+
+	// "Delete Bob from Alice's friends list."
+	if n, _ := g.DeleteEdges(0, 0, 1); n != 1 {
+		t.Fatalf("deleted %d edges", n)
+	}
+	if ids := g.GetNeighborIDs(0, 0, nil); !reflect.DeepEqual(ids, []NodeID{2, 3}) {
+		t.Fatalf("after edge delete, friends = %v", ids)
+	}
+
+	// "Delete Alice from the graph."
+	if err := g.DeleteNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.GetNodeProperty(0, nil); ok {
+		t.Fatal("deleted node readable")
+	}
+	if _, ok := g.GetEdgeRecord(0, 0); ok {
+		t.Fatal("deleted node's record readable")
+	}
+	// Bob's friend list no longer contains Alice.
+	if ids := g.GetNeighborIDs(1, 0, nil); len(ids) != 0 {
+		t.Fatalf("Bob's friends after Alice deleted = %v", ids)
+	}
+}
+
+func TestCompressEmptyGraph(t *testing.T) {
+	g, err := Compress(GraphData{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.GetNodeProperty(0, nil); ok {
+		t.Fatal("empty graph has nodes")
+	}
+	if err := g.AppendNode(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.GetNodeProperty(1, nil); !ok {
+		t.Fatal("appended node invisible")
+	}
+}
+
+func TestFootprintReporting(t *testing.T) {
+	// A larger repetitive graph should compress below its raw layout size.
+	var data GraphData
+	for i := 0; i < 500; i++ {
+		data.Nodes = append(data.Nodes, Node{ID: NodeID(i), Props: map[string]string{
+			"location": []string{"Ithaca", "Princeton", "Berkeley"}[i%3],
+			"status":   "active",
+		}})
+		data.Edges = append(data.Edges, Edge{Src: NodeID(i), Dst: NodeID((i + 1) % 500), Type: 0, Timestamp: int64(i)})
+	}
+	g, err := Compress(data, Options{SamplingRate: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RawSize() <= 0 || g.CompressedFootprint() <= 0 {
+		t.Fatal("footprint reporting broken")
+	}
+	ratio := float64(g.CompressedFootprint()) / float64(g.RawSize())
+	t.Logf("footprint ratio = %.2f", ratio)
+	if ratio > 1.2 {
+		t.Errorf("repetitive graph did not compress: ratio %.2f", ratio)
+	}
+	if g.FragmentsOf(0) != 1 {
+		t.Errorf("static node has %d fragments", g.FragmentsOf(0))
+	}
+}
+
+func TestDeriveSchemasValidation(t *testing.T) {
+	_, err := Compress(GraphData{Nodes: []Node{
+		{ID: 0, Props: map[string]string{"p": "bad\x02value"}},
+	}}, Options{})
+	if err == nil {
+		t.Fatal("non-printable property value accepted")
+	}
+}
+
+func TestManyEdgeTypes(t *testing.T) {
+	var data GraphData
+	data.Nodes = append(data.Nodes, Node{ID: 0}, Node{ID: 1})
+	for ty := 0; ty < 12; ty++ {
+		data.Edges = append(data.Edges, Edge{Src: 0, Dst: 1, Type: EdgeType(ty), Timestamp: int64(ty)})
+	}
+	g, err := Compress(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs := g.GetEdgeRecords(0); len(recs) != 12 {
+		t.Fatalf("GetEdgeRecords = %d, want 12", len(recs))
+	}
+	for ty := 0; ty < 12; ty++ {
+		rec, ok := g.GetEdgeRecord(0, EdgeType(ty))
+		if !ok || rec.Count() != 1 {
+			t.Fatalf("type %d missing", ty)
+		}
+	}
+}
+
+func BenchmarkGetNodeProperty(b *testing.B) {
+	var data GraphData
+	for i := 0; i < 2000; i++ {
+		data.Nodes = append(data.Nodes, Node{ID: NodeID(i), Props: map[string]string{
+			"name": fmt.Sprintf("user%d", i), "location": "Ithaca",
+		}})
+	}
+	g, err := Compress(data, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GetNodeProperty(NodeID(i%2000), []string{"name"})
+	}
+}
+
+func TestGraphSaveLoad(t *testing.T) {
+	g := compressExample(t)
+	if err := g.AppendNode(9, map[string]string{"nickname": "Judy"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DeleteNode(2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, ok := got.GetNodeProperty(0, []string{"age"})
+	if !ok || vals[0] != "42" {
+		t.Fatalf("compressed data lost: %v %v", vals, ok)
+	}
+	if props, ok := got.GetNodeProperties(9); !ok || props["nickname"] != "Judy" {
+		t.Fatalf("log data lost: %v %v", props, ok)
+	}
+	if _, ok := got.GetNodeProperty(2, nil); ok {
+		t.Fatal("deletion lost")
+	}
+	rec, ok := got.GetEdgeRecord(0, 0)
+	if !ok || rec.Count() != 2 {
+		t.Fatalf("edges lost: %v", ok)
+	}
+}
+
+func TestFindEdges(t *testing.T) {
+	g := compressExample(t)
+	// The static comment edge has text=hello.
+	got := g.FindEdges(map[string]string{"text": "hello"})
+	if len(got) != 1 || got[0].Src != 0 || got[0].Dst != 1 || got[0].Type != 1 {
+		t.Fatalf("FindEdges(hello) = %+v", got)
+	}
+	// An appended (LogStore) edge is also found.
+	if err := g.AppendEdge(Edge{Src: 2, Dst: 0, Type: 1, Timestamp: 500,
+		Props: map[string]string{"text": "hello"}}); err != nil {
+		t.Fatal(err)
+	}
+	got = g.FindEdges(map[string]string{"text": "hello"})
+	if len(got) != 2 {
+		t.Fatalf("after append, FindEdges = %+v", got)
+	}
+	// Exact match only: no prefix hits, no cross-field hits.
+	if got := g.FindEdges(map[string]string{"text": "hell"}); got != nil {
+		t.Fatalf("prefix matched: %+v", got)
+	}
+	// Deleting the edge hides it.
+	if _, err := g.DeleteEdges(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	got = g.FindEdges(map[string]string{"text": "hello"})
+	if len(got) != 1 || got[0].Src != 2 {
+		t.Fatalf("after delete, FindEdges = %+v", got)
+	}
+	// Deleted source nodes hide their edges too.
+	if err := g.DeleteNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.FindEdges(map[string]string{"text": "hello"}); got != nil {
+		t.Fatalf("deleted node's edge found: %+v", got)
+	}
+	if got := g.FindEdges(nil); got != nil {
+		t.Fatalf("empty filter matched: %+v", got)
+	}
+}
+
+func TestFindEdgesSurvivesRolloverAndCompact(t *testing.T) {
+	g, err := Compress(exampleGraph(), Options{SamplingRate: 4, LogStoreThreshold: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push enough annotated edges through the LogStore to force freezes.
+	for i := 0; i < 30; i++ {
+		tag := "even"
+		if i%2 == 1 {
+			tag = "odd"
+		}
+		err := g.AppendEdge(Edge{Src: 1, Dst: NodeID(50 + i), Type: 2, Timestamp: int64(i),
+			Props: map[string]string{"text": tag}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Store().Rollovers() == 0 {
+		t.Fatal("fixture should roll over")
+	}
+	if got := g.FindEdges(map[string]string{"text": "even"}); len(got) != 15 {
+		t.Fatalf("FindEdges(even) across fragments = %d, want 15", len(got))
+	}
+	if err := g.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.FindEdges(map[string]string{"text": "even"}); len(got) != 15 {
+		t.Fatalf("FindEdges(even) after compact = %d, want 15", len(got))
+	}
+}
