@@ -21,6 +21,7 @@ import (
 
 	"zipg/internal/cluster"
 	"zipg/internal/datafile"
+	"zipg/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +31,9 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated addresses of all servers, in ID order")
 	shards := flag.Int("shards", 4, "shards per server (paper default: one per core)")
 	alpha := flag.Int("alpha", 32, "succinct sampling rate")
+	admin := flag.String("admin", "127.0.0.1:0",
+		"admin HTTP address serving /metrics, /healthz, /debug/vars, /debug/traces and /debug/pprof (empty to disable)")
+	noTelemetry := flag.Bool("no-telemetry", false, "disable telemetry recording (admin endpoints stay up)")
 	flag.Parse()
 
 	if *data == "" || *peers == "" {
@@ -76,6 +80,21 @@ func main() {
 	}
 	srv.ConnectPeers(peerList)
 	fmt.Printf("server %d: serving on %s\n", *id, bound)
+
+	if !*noTelemetry {
+		telemetry.Enable()
+	}
+	var adminSrv *telemetry.AdminServer
+	if *admin != "" {
+		adminSrv, err = telemetry.ServeAdmin(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer adminSrv.Close()
+		fmt.Printf("server %d: admin endpoints on http://%s (/metrics /healthz /debug/vars /debug/traces /debug/pprof)\n",
+			*id, adminSrv.Addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -256,6 +256,9 @@ var Experiments = map[string]func(Options) (*Result, error){
 	"ablation-fanned":   AblationFanned,
 	"ablation-logstore": AblationLogStore,
 	"ablation-shards":   AblationShards,
+	// End-to-end telemetry readout on a live loopback cluster (no paper
+	// figure; validates the observability layer and §4.1's fan-out).
+	"telemetry-cluster": TelemetryCluster,
 }
 
 // ExperimentNames returns the runnable experiment IDs, sorted.

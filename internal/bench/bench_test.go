@@ -196,6 +196,29 @@ func TestFig6Runs(t *testing.T) {
 	}
 }
 
+// TestTelemetryCluster runs the live-cluster readout and checks the
+// telemetry layer saw the function-shipping path: RPC calls recorded,
+// nonzero fan-out on filtered neighbor queries.
+func TestTelemetryCluster(t *testing.T) {
+	r := runExperiment(t, "telemetry-cluster")
+	cells := map[string]string{}
+	for _, row := range r.Rows {
+		cells[row[0]] = row[1]
+	}
+	for _, metric := range []string{"rpc calls (all methods)", "neighbor queries"} {
+		v, ok := cells[metric]
+		if !ok {
+			t.Fatalf("missing row %q in:\n%s", metric, r.Format())
+		}
+		if v == "0" {
+			t.Errorf("%s = 0, want > 0", metric)
+		}
+	}
+	if _, ok := cells["avg fan-out per neighbor query"]; !ok {
+		t.Errorf("no fan-out row — filtered neighbor queries never shipped:\n%s", r.Format())
+	}
+}
+
 func TestBuildSystemUnknown(t *testing.T) {
 	d, err := datasetByName("orkut", 32<<10)
 	if err != nil {
@@ -211,8 +234,8 @@ func TestBuildSystemUnknown(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 16 {
-		t.Fatalf("want 16 experiments, got %d: %v", len(names), names)
+	if len(names) != 17 {
+		t.Fatalf("want 17 experiments, got %d: %v", len(names), names)
 	}
 }
 

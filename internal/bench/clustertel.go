@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+
+	"zipg"
+	"zipg/internal/cluster"
+	"zipg/internal/telemetry"
+	"zipg/internal/workloads"
+)
+
+// TelemetryCluster drives the TAO mix through a real in-process cluster
+// (loopback TCP, function shipping and all) and reports what the
+// telemetry layer saw: per-RPC-method call counts, aggregator fan-out,
+// the local/remote subquery split of §4.1, and the LogStore hit rate of
+// the write path. Unlike Fig9's attribution model this exercises the
+// actual rpc and cluster code paths, so it doubles as an end-to-end
+// check that the instrumentation is wired through every layer.
+func TelemetryCluster(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	const numServers = 4
+	d, err := datasetByName("orkut", opts.BaseBytes)
+	if err != nil {
+		return nil, err
+	}
+	nodeSchema, edgeSchema, err := zipg.DeriveSchemas(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges})
+	if err != nil {
+		return nil, err
+	}
+	c, err := cluster.Launch(d.Nodes, d.Edges, nodeSchema, edgeSchema, cluster.LaunchConfig{
+		NumServers:      numServers,
+		ShardsPerServer: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	client, err := c.Client()
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	mix := workloads.MixConfig{Mix: workloads.TAOMix, AccessSkew: 0, Seed: 1001}
+	ops := workloads.GenerateOps(d, mix, opts.Ops)
+
+	wasOn := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(wasOn)
+	before := telemetry.TakeSnapshot()
+	for _, op := range ops {
+		if _, err := workloads.Execute(client, op); err != nil {
+			return nil, fmt.Errorf("bench: telemetry-cluster: %w", err)
+		}
+	}
+	// TAO's assoc ops read edge records directly; the §4.1 fan-out path
+	// only runs for property-filtered neighbor queries (Figure 4), so
+	// drive a batch of those explicitly.
+	if vals := d.Vocab["prop01"]; len(vals) > 0 {
+		for i := 0; i < len(ops)/4; i++ {
+			client.GetNeighborIDs(ops[i].ID, zipg.WildcardType, map[string]string{"prop01": vals[i%len(vals)]})
+		}
+	}
+	delta := telemetry.Delta(before, telemetry.TakeSnapshot())
+
+	r := &Result{
+		Title:   fmt.Sprintf("Telemetry: TAO mix on a live %d-server cluster (%d ops)", numServers, len(ops)),
+		Headers: []string{"metric", "value"},
+		Notes: []string{
+			"fan-out counts remote aggregators contacted per filtered neighbor query (§4.1 function shipping)",
+			"run a zipg-server with -admin to scrape the same series live from /metrics",
+		},
+	}
+	addRow := func(metric, value string) {
+		r.Rows = append(r.Rows, []string{metric, value})
+	}
+	addRow("rpc calls (all methods)", fmt.Sprintf("%.0f", sumPrefix(delta, "zipg_rpc_calls_total{")))
+	for _, line := range perMethodNotes(delta) {
+		addRow("  "+line, "")
+	}
+	addRow("rpc frame KB (read+written)", fmt.Sprintf("%.1f", sumPrefix(delta, "zipg_rpc_frame_bytes_total")/1024))
+	addRow("neighbor queries", fmt.Sprintf("%.0f", delta["zipg_cluster_neighbor_queries_total"]))
+	if m, ok := delta["zipg_cluster_fanout.mean"]; ok {
+		addRow("avg fan-out per neighbor query", fmt.Sprintf("%.2f", m))
+	}
+	local := delta[`zipg_cluster_subqueries_total{locality="local"}`]
+	remote := delta[`zipg_cluster_subqueries_total{locality="remote"}`]
+	addRow("subqueries local/remote", fmt.Sprintf("%.0f / %.0f", local, remote))
+	hits := delta[`zipg_logstore_reads_total{result="hit"}`]
+	misses := delta[`zipg_logstore_reads_total{result="miss"}`]
+	if hits+misses > 0 {
+		addRow("logstore hit rate", fmt.Sprintf("%.2f", hits/(hits+misses)))
+	}
+	addRow("store ops (all servers)", fmt.Sprintf("%.0f", sumPrefix(delta, "zipg_store_ops_total")))
+	addRow("succinct KB extracted", fmt.Sprintf("%.1f", delta["zipg_store_succinct_bytes_total"]/1024))
+	return r, nil
+}

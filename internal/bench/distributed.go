@@ -158,7 +158,7 @@ func Fig9(opts Options) (*Result, error) {
 	lbMix := workloads.MixConfig{Mix: workloads.LinkBenchMix, AccessSkew: 1.4, Seed: 912}
 	mixSingle := func(mix workloads.MixConfig) func(sys *System, d *gen.Dataset) (float64, error) {
 		return func(sys *System, d *gen.Dataset) (float64, error) {
-			tputs, err := runMixOnSystem(sys, d, mix, nil, opts.Ops)
+			tputs, _, err := runMixOnSystem(sys, d, mix, nil, opts.Ops)
 			if err != nil {
 				return 0, err
 			}

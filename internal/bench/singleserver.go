@@ -8,9 +8,12 @@ import (
 )
 
 // runMixOnSystem measures overall-mix throughput plus per-component
-// throughput for one system over one dataset.
-func runMixOnSystem(sys *System, d *gen.Dataset, mix workloads.MixConfig, components []workloads.OpKind, nOps int) ([]float64, error) {
+// throughput for one system over one dataset. The second return value
+// is the telemetry delta for the whole measured run, rendered as note
+// lines (nil for systems that never touch an instrumented ZipG path).
+func runMixOnSystem(sys *System, d *gen.Dataset, mix workloads.MixConfig, components []workloads.OpKind, nOps int) ([]float64, []string, error) {
 	out := make([]float64, 0, 1+len(components))
+	tc := startTelemetryCapture()
 	ops := workloads.GenerateOps(d, mix, nOps)
 	// All measurements run under silent cache pressure from the read-only
 	// part of the mix (see ThroughputUnderPressure): the paper measured
@@ -30,7 +33,8 @@ func runMixOnSystem(sys *System, d *gen.Dataset, mix workloads.MixConfig, compon
 		}
 	}, pressure)
 	if execErr != nil {
-		return nil, fmt.Errorf("bench: %s mix: %w", sys.Name, execErr)
+		tc.finish("")
+		return nil, nil, fmt.Errorf("bench: %s mix: %w", sys.Name, execErr)
 	}
 	out = append(out, tput)
 	for _, kind := range components {
@@ -44,11 +48,12 @@ func runMixOnSystem(sys *System, d *gen.Dataset, mix workloads.MixConfig, compon
 			}
 		}, pressure)
 		if execErr != nil {
-			return nil, fmt.Errorf("bench: %s %v: %w", sys.Name, kind, execErr)
+			tc.finish("")
+			return nil, nil, fmt.Errorf("bench: %s %v: %w", sys.Name, kind, execErr)
 		}
 		out = append(out, tput)
 	}
-	return out, nil
+	return out, tc.finish(d.Spec.Name + "/" + sys.Name), nil
 }
 
 // readOnly keeps only the non-mutating operations of a mix.
@@ -86,7 +91,7 @@ func mixExperiment(opts Options, title string, datasets []string, mix workloads.
 			if err != nil {
 				return nil, err
 			}
-			tputs, err := runMixOnSystem(sys, d, mix, components, opts.Ops)
+			tputs, telNotes, err := runMixOnSystem(sys, d, mix, components, opts.Ops)
 			if err != nil {
 				return nil, err
 			}
@@ -95,6 +100,7 @@ func mixExperiment(opts Options, title string, datasets []string, mix workloads.
 				row = append(row, kops(t))
 			}
 			r.Rows = append(r.Rows, row)
+			r.Notes = append(r.Notes, telNotes...)
 		}
 	}
 	return r, nil
@@ -165,6 +171,7 @@ func Fig8(opts Options) (*Result, error) {
 				return nil, err
 			}
 			row := []string{dsName, sysName}
+			tc := startTelemetryCapture()
 			tput := sys.Throughput(len(allOps), func(i int) {
 				workloads.ExecuteGS(sys.Store, allOps[i], false)
 			})
@@ -180,6 +187,7 @@ func Fig8(opts Options) (*Result, error) {
 				row = append(row, kops(tput))
 			}
 			r.Rows = append(r.Rows, row)
+			r.Notes = append(r.Notes, tc.finish(dsName+"/"+sysName)...)
 		}
 	}
 	return r, nil

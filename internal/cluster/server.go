@@ -14,7 +14,6 @@ package cluster
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -23,20 +22,32 @@ import (
 	"zipg/internal/memsim"
 	"zipg/internal/rpc"
 	"zipg/internal/store"
+	"zipg/internal/telemetry"
 )
 
 // OwnerOf returns the server owning a node's data: the same
-// hash-partitioning the single-machine store uses for shards, applied at
-// server granularity.
+// hash-partitioning the single-machine store uses for shards, applied
+// at server granularity. Every routed query hashes at least one ID, so
+// the FNV-1a mix is inlined (layout.IDHash) instead of allocating a
+// hash/fnv hasher and a byte buffer per call; the hash values are
+// unchanged, so existing partition files stay valid.
 func OwnerOf(id graphapi.NodeID, numServers int) int {
-	h := fnv.New32a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(uint64(id) >> (8 * i))
-	}
-	h.Write(b[:])
-	return int(h.Sum32() % uint32(numServers))
+	return int(layout.IDHash(id) % uint32(numServers))
 }
+
+// Telemetry series for the aggregator's function shipping (§4.1,
+// Figure 4): how far neighbor queries fan out and how the per-owner
+// subquery batches split between local execution and RPC shipping.
+var (
+	mFanout = telemetry.NewHistogram("zipg_cluster_fanout",
+		"Remote servers shipped to per neighbor query (function shipping).")
+	mSubqLocal = telemetry.NewCounterL("zipg_cluster_subqueries_total", `locality="local"`,
+		"Per-owner subquery batches, by where they executed.")
+	mSubqRemote = telemetry.NewCounterL("zipg_cluster_subqueries_total", `locality="remote"`,
+		"Per-owner subquery batches, by where they executed.")
+	mNeighborQueries = telemetry.NewCounter("zipg_cluster_neighbor_queries_total",
+		"Neighbor queries executed at this aggregator.")
+)
 
 // --- wire types ---
 
@@ -346,6 +357,9 @@ func (s *Server) registerHandlers() {
 // neighbors are shipped in one batch per owning server (Figure 4's
 // "Carol & Dan's cities?" fan-out).
 func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props map[string]string) ([]graphapi.NodeID, error) {
+	mNeighborQueries.Inc()
+	sp := telemetry.StartSpan("cluster.neighbors")
+	defer sp.End()
 	var records []*store.EdgeRecord
 	if etype < 0 {
 		records = s.store.GetEdgeRecords(id)
@@ -364,6 +378,21 @@ func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props ma
 				perOwner[OwnerOf(dst, s.cfg.NumServers)] = append(perOwner[OwnerOf(dst, s.cfg.NumServers)], dst)
 			}
 		}
+	}
+	if telemetry.Enabled() {
+		localIDs, remoteIDs, remoteOwners := 0, 0, 0
+		for owner, ids := range perOwner {
+			if owner == s.cfg.ID {
+				localIDs += len(ids)
+				mSubqLocal.Inc()
+			} else {
+				remoteIDs += len(ids)
+				remoteOwners++
+				mSubqRemote.Inc()
+			}
+		}
+		mFanout.Observe(int64(remoteOwners))
+		sp.SetFanout(remoteOwners, localIDs, remoteIDs)
 	}
 	var out []graphapi.NodeID
 	var mu sync.Mutex

@@ -1,0 +1,26 @@
+package layout
+
+// FNV-1a parameters (32-bit), as in hash/fnv.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// IDHash returns the 32-bit FNV-1a hash of a node ID's 8 little-endian
+// bytes — bit-identical to writing the bytes through hash/fnv's
+// New32a, but fully inlined: no hasher object, no byte buffer, zero
+// allocations. Both the store's shard partitioner and the cluster's
+// OwnerOf sit on per-query hot paths and hash every ID they route.
+func IDHash(id NodeID) uint32 {
+	x := uint64(id)
+	h := uint32(fnvOffset32)
+	h = (h ^ uint32(x&0xff)) * fnvPrime32
+	h = (h ^ uint32((x>>8)&0xff)) * fnvPrime32
+	h = (h ^ uint32((x>>16)&0xff)) * fnvPrime32
+	h = (h ^ uint32((x>>24)&0xff)) * fnvPrime32
+	h = (h ^ uint32((x>>32)&0xff)) * fnvPrime32
+	h = (h ^ uint32((x>>40)&0xff)) * fnvPrime32
+	h = (h ^ uint32((x>>48)&0xff)) * fnvPrime32
+	h = (h ^ uint32((x>>56)&0xff)) * fnvPrime32
+	return h
+}

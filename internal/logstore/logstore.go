@@ -18,7 +18,33 @@ import (
 
 	"zipg/internal/layout"
 	"zipg/internal/memsim"
+	"zipg/internal/telemetry"
 )
+
+// Telemetry series for the write path: append volume and the
+// hit/miss split of reads that consult the LogStore (the numerator of
+// the LogStore hit rate the bench harness reports).
+var (
+	mAppendNodes = telemetry.NewCounterL("zipg_logstore_appends_total", `kind="node"`,
+		"LogStore appends, by record kind.")
+	mAppendEdges = telemetry.NewCounterL("zipg_logstore_appends_total", `kind="edge"`,
+		"LogStore appends, by record kind.")
+	mAppendBytes = telemetry.NewCounter("zipg_logstore_bytes_total",
+		"Serialized-equivalent bytes absorbed by LogStore appends.")
+	mReadHits = telemetry.NewCounterL("zipg_logstore_reads_total", `result="hit"`,
+		"Reads that consulted the LogStore, by hit/miss.")
+	mReadMisses = telemetry.NewCounterL("zipg_logstore_reads_total", `result="miss"`,
+		"Reads that consulted the LogStore, by hit/miss.")
+)
+
+// recordRead counts one LogStore read against the hit-rate series.
+func recordRead(hit bool) {
+	if hit {
+		mReadHits.Inc()
+	} else {
+		mReadMisses.Inc()
+	}
+}
 
 // QueryOptimizedOverhead approximates the space blow-up of the pointer-
 // rich in-memory representation relative to the serialized layout. It is
@@ -90,6 +116,8 @@ func (l *LogStore) AddNode(id layout.NodeID, props map[string]string) error {
 	l.size += grow
 	l.mu.Unlock()
 	l.med.Grow(grow)
+	mAppendNodes.Inc()
+	mAppendBytes.Add(grow)
 	return nil
 }
 
@@ -109,6 +137,8 @@ func (l *LogStore) AddEdge(e layout.Edge) error {
 	l.size += grow
 	l.mu.Unlock()
 	l.med.Grow(grow)
+	mAppendEdges.Inc()
+	mAppendBytes.Add(grow)
 	return nil
 }
 
@@ -159,6 +189,7 @@ func (l *LogStore) NodeProps(id layout.NodeID) (map[string]string, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	props, ok := l.nodes[id]
+	recordRead(ok)
 	if !ok {
 		return nil, false
 	}
@@ -201,6 +232,7 @@ func (l *LogStore) EdgeEntries(src layout.NodeID, etype layout.EdgeType) []layou
 	es := l.edges[edgeKey{src, etype}]
 	cp := append([]layout.Edge(nil), es...)
 	l.mu.RUnlock()
+	recordRead(len(cp) > 0)
 	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Timestamp < cp[j].Timestamp })
 	return cp
 }

@@ -15,11 +15,52 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"zipg/internal/telemetry"
 )
 
 // maxFrame bounds a single message (64 MiB), protecting servers from
 // corrupt length prefixes.
 const maxFrame = 64 << 20
+
+// ErrFrameTooLarge is the sentinel matched by errors.Is when a frame's
+// length prefix exceeds maxFrame. The error actually returned is a
+// *FrameTooLargeError carrying the offending size.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// FrameTooLargeError reports an oversized frame: the advertised size
+// and the limit it broke. errors.Is(err, ErrFrameTooLarge) matches it.
+type FrameTooLargeError struct {
+	Size  uint32
+	Limit uint32
+}
+
+// Error implements error.
+func (e *FrameTooLargeError) Error() string {
+	return fmt.Sprintf("rpc: frame of %d bytes exceeds %d-byte limit", e.Size, e.Limit)
+}
+
+// Is matches the ErrFrameTooLarge sentinel.
+func (e *FrameTooLargeError) Is(target error) bool { return target == ErrFrameTooLarge }
+
+// Telemetry series for the RPC layer. Per-method series materialize on
+// first use.
+var (
+	mCalls = telemetry.NewCounterVec("zipg_rpc_calls_total", "method",
+		"RPC requests served, by method.")
+	mLatency = telemetry.NewHistogramVec("zipg_rpc_latency_ns", "method",
+		"Server-side RPC handling latency in nanoseconds, by method.")
+	mClientCalls = telemetry.NewCounterVec("zipg_rpc_client_calls_total", "method",
+		"Client-side RPC calls issued, by method.")
+	mInflight = telemetry.NewGauge("zipg_rpc_inflight",
+		"RPC requests currently being served.")
+	mFrameBytesRead = telemetry.NewCounterL("zipg_rpc_frame_bytes_total", `dir="read"`,
+		"Frame bytes moved (header + payload), by direction.")
+	mFrameBytesWritten = telemetry.NewCounterL("zipg_rpc_frame_bytes_total", `dir="write"`,
+		"Frame bytes moved (header + payload), by direction.")
+	mErrors = telemetry.NewCounterVec("zipg_rpc_errors_total", "kind",
+		"RPC-layer errors, by kind.")
+)
 
 // request is the wire envelope for calls.
 type request struct {
@@ -47,6 +88,9 @@ func writeFrame(w io.Writer, v any) error {
 		return err
 	}
 	_, err := w.Write(buf.Bytes())
+	if err == nil {
+		mFrameBytesWritten.Add(int64(4 + buf.Len()))
+	}
 	return err
 }
 
@@ -58,12 +102,13 @@ func readFrame(r io.Reader, v any) error {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+		return &FrameTooLargeError{Size: n, Limit: maxFrame}
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return err
 	}
+	mFrameBytesRead.Add(int64(4 + n))
 	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
 }
 
@@ -137,6 +182,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		var req request
 		if err := readFrame(conn, &req); err != nil {
+			// The server-side read path counts oversized frames; other
+			// read errors here are routine connection teardown.
+			if errors.Is(err, ErrFrameTooLarge) {
+				mErrors.With("frame_too_large_server").Inc()
+			}
 			return
 		}
 		s.mu.RLock()
@@ -147,19 +197,27 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Add(1)
 		go func(req request) {
 			defer s.wg.Done()
+			mInflight.Inc()
+			defer mInflight.Dec()
+			mCalls.With(req.Method).Inc()
+			tm := telemetry.StartTimer()
 			resp := response{ID: req.ID}
 			if h == nil {
 				resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
+				mErrors.With("unknown_method").Inc()
 			} else if result, err := h(req.Args); err != nil {
 				resp.Err = err.Error()
+				mErrors.With("handler").Inc()
 			} else {
 				var buf bytes.Buffer
 				if err := gob.NewEncoder(&buf).Encode(result); err != nil {
 					resp.Err = fmt.Sprintf("rpc: encode result: %v", err)
+					mErrors.With("encode").Inc()
 				} else {
 					resp.Result = buf.Bytes()
 				}
 			}
+			tm.ObserveInto(mLatency.With(req.Method))
 			writeMu.Lock()
 			err := writeFrame(conn, &resp)
 			writeMu.Unlock()
@@ -214,6 +272,10 @@ func (c *Client) readLoop() {
 	for {
 		var resp response
 		if err := readFrame(c.conn, &resp); err != nil {
+			// The client-side read path also counts oversized frames.
+			if errors.Is(err, ErrFrameTooLarge) {
+				mErrors.With("frame_too_large_client").Inc()
+			}
 			c.mu.Lock()
 			c.err = err
 			for id, ch := range c.pending {
@@ -236,6 +298,7 @@ func (c *Client) readLoop() {
 // Call invokes method with args, decoding the result into reply (which
 // must be a pointer, or nil to discard).
 func (c *Client) Call(method string, args any, reply any) error {
+	mClientCalls.With(method).Inc()
 	var argBuf bytes.Buffer
 	if err := gob.NewEncoder(&argBuf).Encode(args); err != nil {
 		return fmt.Errorf("rpc: encode args: %w", err)

@@ -1,10 +1,16 @@
 package rpc
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
+	"time"
+
+	"zipg/internal/telemetry"
 )
 
 type echoArgs struct {
@@ -95,6 +101,95 @@ func TestConcurrentCalls(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// oversizedHeader is a length prefix advertising a frame over maxFrame.
+func oversizedHeader() []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	return hdr[:]
+}
+
+func TestFrameTooLargeTyped(t *testing.T) {
+	err := readFrame(bytes.NewReader(oversizedHeader()), &request{})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("errors.Is(err, ErrFrameTooLarge) = false, err = %v", err)
+	}
+	var f *FrameTooLargeError
+	if !errors.As(err, &f) {
+		t.Fatalf("errors.As *FrameTooLargeError = false, err = %v", err)
+	}
+	if f.Size != maxFrame+1 || f.Limit != maxFrame {
+		t.Errorf("FrameTooLargeError = %+v, want Size=%d Limit=%d", f, maxFrame+1, maxFrame)
+	}
+}
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFrameTooLargeServerPath oversends to a live server: the server's
+// read loop must drop the connection and bump the error counter.
+func TestFrameTooLargeServerPath(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	_, addr := startEcho(t)
+	before := mErrors.With("frame_too_large_server").Value()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(oversizedHeader()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "server frame_too_large counter", func() bool {
+		return mErrors.With("frame_too_large_server").Value() > before
+	})
+}
+
+// TestFrameTooLargeClientPath serves an oversized response from a raw
+// listener: the client's read loop must fail pending calls and bump the
+// client-side counter.
+func TestFrameTooLargeClientPath(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.Write(oversizedHeader())
+		time.Sleep(100 * time.Millisecond)
+	}()
+	before := mErrors.With("frame_too_large_client").Value()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitFor(t, "client frame_too_large counter", func() bool {
+		return mErrors.With("frame_too_large_client").Value() > before
+	})
+	if err := c.Call("echo", echoArgs{}, nil); err == nil {
+		t.Error("Call on poisoned connection should fail")
+	}
 }
 
 func TestConnectionLoss(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"zipg/internal/core"
 	"zipg/internal/layout"
 	"zipg/internal/logstore"
+	"zipg/internal/telemetry"
 )
 
 // Compact is the periodic garbage collection of §4.1: it merges every
@@ -19,6 +20,11 @@ import (
 // runs it periodically in the background on dedicated capacity; this
 // implementation favours simplicity).
 func (s *Store) Compact() error {
+	tm := telemetry.StartTimer()
+	defer func() {
+		mCompactions.Inc()
+		tm.ObserveInto(mCompactionNs)
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 

@@ -1,0 +1,48 @@
+package store
+
+import "zipg/internal/telemetry"
+
+// Telemetry series for the single-machine store. Instances are resolved
+// once at init so the hot path never does a registry lookup; every
+// mutator is a no-op while telemetry is disabled (see package
+// telemetry).
+const (
+	helpStoreOps     = "Store operations executed, by Table 1 op."
+	helpStoreLatency = "Store operation latency in nanoseconds, by op."
+)
+
+var (
+	mOpGetNodeProps  = telemetry.NewCounterL("zipg_store_ops_total", `op="get_node_props"`, helpStoreOps)
+	mOpNeighborIDs   = telemetry.NewCounterL("zipg_store_ops_total", `op="get_neighbor_ids"`, helpStoreOps)
+	mOpFindNodes     = telemetry.NewCounterL("zipg_store_ops_total", `op="get_node_ids"`, helpStoreOps)
+	mOpFindEdges     = telemetry.NewCounterL("zipg_store_ops_total", `op="find_edges"`, helpStoreOps)
+	mOpGetEdgeRecord = telemetry.NewCounterL("zipg_store_ops_total", `op="get_edge_record"`, helpStoreOps)
+	mOpAppendNode    = telemetry.NewCounterL("zipg_store_ops_total", `op="append_node"`, helpStoreOps)
+	mOpAppendEdge    = telemetry.NewCounterL("zipg_store_ops_total", `op="append_edge"`, helpStoreOps)
+	mOpDeleteNode    = telemetry.NewCounterL("zipg_store_ops_total", `op="delete_node"`, helpStoreOps)
+	mOpDeleteEdges   = telemetry.NewCounterL("zipg_store_ops_total", `op="delete_edges"`, helpStoreOps)
+
+	mLatGetNodeProps = telemetry.NewHistogramL("zipg_store_latency_ns", `op="get_node_props"`, helpStoreLatency)
+	mLatNeighborIDs  = telemetry.NewHistogramL("zipg_store_latency_ns", `op="get_neighbor_ids"`, helpStoreLatency)
+	mLatFindNodes    = telemetry.NewHistogramL("zipg_store_latency_ns", `op="get_node_ids"`, helpStoreLatency)
+
+	// mFragmentsPerRead is the paper's fanned-updates quantity: how many
+	// fragments (primary + frozen generations + LogStore) one node-prop
+	// read consulted (§3.5, Figures 10-11).
+	mFragmentsPerRead = telemetry.NewHistogram("zipg_store_fragments_per_read",
+		"Fragments consulted per node-property read (fanned updates).")
+
+	// mSuccinctBytes counts property/edge bytes materialized out of
+	// Succinct-compressed shards (not LogStore hits).
+	mSuccinctBytes = telemetry.NewCounter("zipg_store_succinct_bytes_total",
+		"Bytes extracted from Succinct-compressed shards.")
+
+	mRollovers = telemetry.NewCounter("zipg_store_rollovers_total",
+		"LogStore freezes into compressed shards.")
+	mRolloverNs = telemetry.NewHistogram("zipg_store_rollover_ns",
+		"LogStore freeze (compress) duration in nanoseconds.")
+	mCompactions = telemetry.NewCounter("zipg_store_compactions_total",
+		"Full store compactions (garbage collections).")
+	mCompactionNs = telemetry.NewHistogram("zipg_store_compaction_ns",
+		"Full compaction duration in nanoseconds.")
+)

@@ -6,6 +6,7 @@ import (
 
 	"zipg/internal/core"
 	"zipg/internal/layout"
+	"zipg/internal/telemetry"
 )
 
 // EdgeRecord is the store-level realization of §2.2's EdgeRecord: a
@@ -51,6 +52,7 @@ func (r *EdgeRecord) Count() int { return r.count }
 // if the node is deleted or has no such edges. Fanned updates: only the
 // fragments named by src's update pointers are consulted.
 func (s *Store) GetEdgeRecord(src layout.NodeID, etype layout.EdgeType) (*EdgeRecord, bool) {
+	mOpGetEdgeRecord.Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.getEdgeRecordLocked(src, etype)
@@ -190,7 +192,9 @@ func (r *EdgeRecord) GetEdgeData(timeOrder int) (layout.EdgeData, error) {
 		return layout.EdgeData{}, fmt.Errorf("store: time order %d out of range [0,%d)", timeOrder, r.count)
 	}
 	if p, ok := r.singleCleanPiece(); ok {
-		return p.shard.Edges().GetEdgeData(p.ref, timeOrder)
+		d, err := p.shard.Edges().GetEdgeData(p.ref, timeOrder)
+		recordSuccinctEdgeData(d, err)
+		return d, err
 	}
 	r.ensureMerged()
 	m := r.merged[timeOrder]
@@ -206,7 +210,23 @@ func (r *EdgeRecord) GetEdgeData(timeOrder int) (layout.EdgeData, error) {
 		}
 		return layout.EdgeData{Dst: e.Dst, Timestamp: e.Timestamp, Props: props}, nil
 	}
-	return p.shard.Edges().GetEdgeData(p.ref, m.idx)
+	d, err := p.shard.Edges().GetEdgeData(p.ref, m.idx)
+	recordSuccinctEdgeData(d, err)
+	return d, err
+}
+
+// recordSuccinctEdgeData accounts the bytes of one edge's data
+// extracted from a compressed EdgeFile (destination + timestamp words
+// plus the property payload).
+func recordSuccinctEdgeData(d layout.EdgeData, err error) {
+	if err != nil || !telemetry.Enabled() {
+		return
+	}
+	n := int64(16) // dst + timestamp
+	for k, v := range d.Props {
+		n += int64(len(k) + len(v))
+	}
+	mSuccinctBytes.Add(n)
 }
 
 // GetEdgeRange returns the TimeOrder range [beg, end) of live edges with
@@ -246,6 +266,18 @@ func (r *EdgeRecord) Destinations() []layout.NodeID {
 // (Table 1's get_neighbor_ids). Per §2.2 it avoids a join: it walks the
 // destination list and checks each neighbor's properties.
 func (s *Store) NeighborIDs(src layout.NodeID, etype layout.EdgeType, propFilter map[string]string) []layout.NodeID {
+	if telemetry.Enabled() {
+		mOpNeighborIDs.Inc()
+		// Timed only on span-sampled queries (see GetNodeProps).
+		if sp := telemetry.StartSpan("store.get_neighbor_ids"); sp != nil {
+			sp.MarkEdgeFile()
+			tm := telemetry.StartTimer()
+			defer func() {
+				tm.ObserveInto(mLatNeighborIDs)
+				sp.End()
+			}()
+		}
+	}
 	var records []*EdgeRecord
 	if etype < 0 {
 		records = s.GetEdgeRecords(src)

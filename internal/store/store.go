@@ -10,7 +10,6 @@ package store
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -18,6 +17,7 @@ import (
 	"zipg/internal/layout"
 	"zipg/internal/logstore"
 	"zipg/internal/memsim"
+	"zipg/internal/telemetry"
 )
 
 // DefaultLogStoreThreshold is the LogStore size that triggers a freeze
@@ -109,15 +109,11 @@ func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layou
 	return s, nil
 }
 
-// partitionOf returns the primary shard index for a node ID.
+// partitionOf returns the primary shard index for a node ID. The
+// inlined FNV-1a (layout.IDHash) is bit-identical to the hash/fnv
+// hasher this used to allocate per call.
 func (s *Store) partitionOf(id layout.NodeID) int {
-	h := fnv.New32a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(uint64(id) >> (8 * i))
-	}
-	h.Write(b[:])
-	return int(h.Sum32() % uint32(s.cfg.NumShards))
+	return int(layout.IDHash(id) % uint32(s.cfg.NumShards))
 }
 
 // NodeSchema returns the node property schema.
@@ -148,6 +144,7 @@ func (s *Store) addPtrLocked(id layout.NodeID, gen int) {
 // store lock: a rollover sneaking between them would freeze the data
 // into generation g while the pointer records g+1, losing the write.
 func (s *Store) AppendNode(id layout.NodeID, props map[string]string) error {
+	mOpAppendNode.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.log.AddNode(id, props); err != nil {
@@ -164,6 +161,7 @@ func (s *Store) AppendNode(id layout.NodeID, props map[string]string) error {
 // and Titan both auto-create endpoints). See AppendNode for the locking
 // discipline.
 func (s *Store) AppendEdge(e layout.Edge) error {
+	mOpAppendEdge.Inc()
 	for _, id := range []layout.NodeID{e.Src, e.Dst} {
 		if !s.HasNode(id) {
 			if err := s.AppendNode(id, nil); err != nil {
@@ -184,6 +182,7 @@ func (s *Store) AppendEdge(e layout.Edge) error {
 // miss from now on. Re-appending the node restores it (and any edges
 // that were not individually deleted).
 func (s *Store) DeleteNode(id layout.NodeID) {
+	mOpDeleteNode.Inc()
 	s.mu.Lock()
 	s.deletedNodes[id] = true
 	s.mu.Unlock()
@@ -194,6 +193,7 @@ func (s *Store) DeleteNode(id layout.NodeID) {
 // delete(nodeID, edgeType, destinationID)): LogStore entries are removed
 // directly; compressed fragments get lazy per-position deletion marks.
 func (s *Store) DeleteEdges(src layout.NodeID, etype layout.EdgeType, dst layout.NodeID) int {
+	mOpDeleteEdges.Inc()
 	removed := s.log.RemoveEdges(src, etype, dst)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -241,6 +241,7 @@ func (s *Store) maybeRolloverLocked() error {
 	if s.log.Size() < s.cfg.LogStoreThreshold {
 		return nil
 	}
+	tm := telemetry.StartTimer()
 	nodes, edges := s.log.Contents()
 	sh, err := core.Build(nodes, edges, s.nodeSchema, s.edgeSchema,
 		core.Options{SamplingRate: s.cfg.SamplingRate, Medium: s.cfg.Medium})
@@ -250,6 +251,8 @@ func (s *Store) maybeRolloverLocked() error {
 	s.frozen = append(s.frozen, sh)
 	s.log = logstore.New(s.nodeSchema, s.edgeSchema, s.cfg.Medium, len(s.frozen))
 	s.rollovers++
+	mRollovers.Inc()
+	tm.ObserveInto(mRolloverNs)
 	return nil
 }
 
@@ -335,6 +338,30 @@ func (s *Store) nodeGensLocked(id layout.NodeID) []int {
 // consults only the fragments the node's update pointers name — the
 // fanned-updates read path.
 func (s *Store) GetNodeProps(id layout.NodeID, propertyIDs []string) ([]string, bool) {
+	// The disabled path stays free of timers, spans and counter loads —
+	// one atomic flag read is the whole overhead.
+	if !telemetry.Enabled() {
+		return s.getNodeProps(id, propertyIDs, nil)
+	}
+	// Latency is timed only on span-sampled queries: two time.Now calls
+	// per op would dominate the instrumentation budget on a ~µs read,
+	// and sampled observations give the same p50/p95/p99. Counters and
+	// the fragments histogram still see every operation.
+	sp := telemetry.StartSpan("store.get_node_props")
+	var tm telemetry.Timer
+	if sp != nil {
+		tm = telemetry.StartTimer()
+	}
+	vals, ok := s.getNodeProps(id, propertyIDs, sp)
+	mOpGetNodeProps.Inc()
+	if sp != nil {
+		tm.ObserveInto(mLatGetNodeProps)
+		sp.End()
+	}
+	return vals, ok
+}
+
+func (s *Store) getNodeProps(id layout.NodeID, propertyIDs []string, sp *telemetry.Span) ([]string, bool) {
 	s.mu.RLock()
 	if s.deletedNodes[id] {
 		s.mu.RUnlock()
@@ -345,9 +372,13 @@ func (s *Store) GetNodeProps(id layout.NodeID, propertyIDs []string) ([]string, 
 	frozen := s.frozen
 	s.mu.RUnlock()
 
+	consulted := 0
 	for _, g := range gens {
 		if g == len(frozen) {
+			consulted++
 			if props, ok := log.NodeProps(id); ok {
+				sp.MarkLogStore()
+				observeFragments(sp, consulted)
 				return propsToValues(props, propertyIDs, s.nodeSchema), true
 			}
 			continue
@@ -355,11 +386,48 @@ func (s *Store) GetNodeProps(id layout.NodeID, propertyIDs []string) ([]string, 
 		if g > len(frozen) {
 			continue
 		}
+		consulted++
 		if vals, ok := frozen[g].Nodes().GetProperties(id, propertyIDs); ok {
+			sp.MarkNodeFile()
+			sp.AddShard(g)
+			recordSuccinctRead(sp, vals)
+			observeFragments(sp, consulted)
 			return vals, true
 		}
 	}
-	return s.primaries[s.partitionOf(id)].Nodes().GetProperties(id, propertyIDs)
+	p := s.partitionOf(id)
+	vals, ok := s.primaries[p].Nodes().GetProperties(id, propertyIDs)
+	if ok {
+		sp.MarkNodeFile()
+		sp.AddShard(p)
+		recordSuccinctRead(sp, vals)
+	}
+	observeFragments(sp, consulted+1)
+	return vals, ok
+}
+
+// observeFragments records the fragments-per-read distribution on
+// span-sampled queries only (the same sampling as latency — see
+// GetNodeProps); the distribution's shape and mean are what matters,
+// and sampling keeps the per-read cost to one nil check.
+func observeFragments(sp *telemetry.Span, consulted int) {
+	if sp != nil {
+		mFragmentsPerRead.Observe(int64(consulted))
+	}
+}
+
+// recordSuccinctRead accounts bytes materialized out of a compressed
+// shard, on both the global counter and the query's span.
+func recordSuccinctRead(sp *telemetry.Span, vals []string) {
+	if !telemetry.Enabled() {
+		return
+	}
+	var n int64
+	for _, v := range vals {
+		n += int64(len(v))
+	}
+	mSuccinctBytes.Add(n)
+	sp.AddBytes(n)
 }
 
 // GetAllNodeProps returns the node's full property map.
@@ -419,6 +487,9 @@ func (s *Store) FindNodes(props map[string]string) []layout.NodeID {
 	if len(props) == 0 {
 		return nil
 	}
+	mOpFindNodes.Inc()
+	tm := telemetry.StartTimer()
+	defer tm.ObserveInto(mLatFindNodes)
 	s.mu.RLock()
 	frozen := append([]*core.Shard(nil), s.frozen...)
 	log := s.log
@@ -470,6 +541,7 @@ func (s *Store) FindEdges(props map[string]string) []layout.Edge {
 	if len(props) == 0 {
 		return nil
 	}
+	mOpFindEdges.Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []layout.Edge

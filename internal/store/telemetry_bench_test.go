@@ -1,0 +1,65 @@
+package store
+
+import (
+	"testing"
+
+	"zipg/internal/telemetry"
+)
+
+// The telemetry acceptance bar: the disabled path must be free (a
+// single atomic load per op) and the enabled path must stay within a
+// few percent of it on the read hot paths. Run with
+//
+//	go test ./internal/store -bench 'Telemetry' -benchmem
+//
+// and compare the Off/On pairs.
+
+func benchGetNodeProps(b *testing.B, s *Store, n int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.GetNodeProps(int64(i%n), nil); !ok {
+			b.Fatal("node missing")
+		}
+	}
+}
+
+func BenchmarkGetNodePropsTelemetryOff(b *testing.B) {
+	const n = 500
+	s, _, _ := newTestStore(b, n, 2000, 4)
+	prev := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prev)
+	benchGetNodeProps(b, s, n)
+}
+
+func BenchmarkGetNodePropsTelemetryOn(b *testing.B) {
+	const n = 500
+	s, _, _ := newTestStore(b, n, 2000, 4)
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	benchGetNodeProps(b, s, n)
+}
+
+func benchNeighborIDs(b *testing.B, s *Store, n int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NeighborIDs(int64(i%n), -1, nil)
+	}
+}
+
+func BenchmarkNeighborIDsTelemetryOff(b *testing.B) {
+	const n = 500
+	s, _, _ := newTestStore(b, n, 2000, 4)
+	prev := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prev)
+	benchNeighborIDs(b, s, n)
+}
+
+func BenchmarkNeighborIDsTelemetryOn(b *testing.B) {
+	const n = 500
+	s, _, _ := newTestStore(b, n, 2000, 4)
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	benchNeighborIDs(b, s, n)
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+var processStart = time.Now()
+
+// publishOnce guards the expvar publication (expvar panics on duplicate
+// names, and tests may build several handlers).
+var publishOnce sync.Once
+
+// AdminHandler returns the admin mux:
+//
+//	/metrics       Prometheus text exposition of the default registry
+//	/healthz       JSON liveness probe
+//	/debug/vars    expvar JSON (includes zipg metrics + recent spans)
+//	/debug/traces  recent query spans, one per line (?n=50)
+//	/debug/pprof/  the standard net/http/pprof profiles
+func AdminHandler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("zipg_metrics", expvar.Func(func() any {
+			return TakeSnapshot()
+		}))
+		expvar.Publish("zipg_spans", expvar.Func(func() any {
+			spans := RecentSpans(32)
+			out := make([]string, len(spans))
+			for i := range spans {
+				out[i] = spans[i].String()
+			}
+			return out
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, Default.Expose())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(processStart).Seconds(),
+			"telemetry":      Enabled(),
+		})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 50
+		if q := r.URL.Query().Get("n"); q != "" {
+			fmt.Sscanf(q, "%d", &n)
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, sp := range RecentSpans(n) {
+			fmt.Fprintln(w, sp.String())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a running admin listener.
+type AdminServer struct {
+	Addr string // bound address, e.g. 127.0.0.1:39021
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeAdmin binds the admin endpoints on addr (e.g. "127.0.0.1:0" for
+// an ephemeral port) and serves in the background.
+func ServeAdmin(addr string) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen: %w", err)
+	}
+	srv := &http.Server{Handler: AdminHandler()}
+	go srv.Serve(ln)
+	return &AdminServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the admin listener.
+func (a *AdminServer) Close() error { return a.srv.Close() }

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	prevSampling := SetSpanSampling(1)
+	defer SetSpanSampling(prevSampling)
+
+	c := NewCounterL("zipg_admin_test_total", `src="http_test"`, "admin endpoint test counter")
+	c.Add(7)
+	sp := StartSpan("test.admin")
+	sp.AddShard(1)
+	sp.End()
+
+	srv, err := ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `zipg_admin_test_total{src="http_test"} 7`) {
+		t.Errorf("/metrics missing test counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE zipg_admin_test_total counter") {
+		t.Error("/metrics missing TYPE header")
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil || health.Status != "ok" {
+		t.Errorf("/healthz = %q (err %v)", body, err)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != 200 || !strings.Contains(body, "zipg_metrics") {
+		t.Errorf("/debug/vars status %d body missing zipg_metrics", code)
+	}
+
+	code, body = get(t, base+"/debug/traces?n=5")
+	if code != 200 || !strings.Contains(body, "test.admin") {
+		t.Errorf("/debug/traces status %d, body %q", code, body)
+	}
+
+	// pprof index must respond (profile endpoints exist under it).
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}

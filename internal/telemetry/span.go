@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one query's trace: which operation ran, which fragments it
+// touched, whether it was served from the LogStore or from compressed
+// NodeFile/EdgeFile data, how far it fanned out over RPC, and how many
+// bytes it extracted from Succinct-compressed storage. Spans are
+// recorded into a fixed-size ring readable from /debug/vars (and
+// RecentSpans) — a flight recorder, not a full trace store.
+//
+// All methods are nil-safe: StartSpan returns nil while telemetry is
+// disabled and every mutator no-ops on a nil receiver, so call sites
+// need no guards.
+type Span struct {
+	Op       string        // operation, e.g. "store.get_node_props"
+	Start    time.Time     // wall-clock start
+	Duration time.Duration // set by End
+	Shards   []int         // shard/fragment IDs consulted, in order
+	LogStore bool          // served (at least partly) from the LogStore
+	NodeFile bool          // touched compressed NodeFile data
+	EdgeFile bool          // touched compressed EdgeFile data
+	Fanout   int           // remote servers shipped to (cluster layer)
+	Local    int           // subqueries answered locally
+	Remote   int           // subqueries shipped over RPC
+	Bytes    int64         // bytes extracted from Succinct storage
+	Err      string        // non-empty if the operation failed
+}
+
+// DefaultSpanSampling is the flight recorder's default sampling period:
+// one span is recorded per this many eligible queries. Counters and
+// histograms always see every operation; only trace recording samples,
+// which keeps the span machinery (allocation + ring push) off the read
+// hot path. SetSpanSampling(1) traces everything.
+const DefaultSpanSampling = 64
+
+var (
+	spanSampleEvery atomic.Int64
+	spanTick        atomic.Int64
+)
+
+func init() { spanSampleEvery.Store(DefaultSpanSampling) }
+
+// SetSpanSampling sets the sampling period (minimum 1 = trace every
+// query) and returns the previous value.
+func SetSpanSampling(every int) int {
+	if every < 1 {
+		every = 1
+	}
+	return int(spanSampleEvery.Swap(int64(every)))
+}
+
+// StartSpan begins a span, or returns nil while telemetry is disabled
+// or this query fell outside the sampling period. All Span methods are
+// nil-safe, so call sites never need to check.
+func StartSpan(op string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	if every := spanSampleEvery.Load(); every > 1 && spanTick.Add(1)%every != 1 {
+		return nil
+	}
+	return &Span{Op: op, Start: time.Now()}
+}
+
+// AddShard records that a shard/fragment was consulted.
+func (sp *Span) AddShard(id int) {
+	if sp == nil {
+		return
+	}
+	sp.Shards = append(sp.Shards, id)
+}
+
+// MarkLogStore records a LogStore hit.
+func (sp *Span) MarkLogStore() {
+	if sp == nil {
+		return
+	}
+	sp.LogStore = true
+}
+
+// MarkNodeFile records a compressed NodeFile access.
+func (sp *Span) MarkNodeFile() {
+	if sp == nil {
+		return
+	}
+	sp.NodeFile = true
+}
+
+// MarkEdgeFile records a compressed EdgeFile access.
+func (sp *Span) MarkEdgeFile() {
+	if sp == nil {
+		return
+	}
+	sp.EdgeFile = true
+}
+
+// SetFanout records the RPC fan-out and the local/remote subquery split.
+func (sp *Span) SetFanout(fanout, local, remote int) {
+	if sp == nil {
+		return
+	}
+	sp.Fanout = fanout
+	sp.Local = local
+	sp.Remote = remote
+}
+
+// AddBytes accumulates bytes extracted from compressed storage.
+func (sp *Span) AddBytes(n int64) {
+	if sp == nil {
+		return
+	}
+	sp.Bytes += n
+}
+
+// SetError records a failure.
+func (sp *Span) SetError(err error) {
+	if sp == nil || err == nil {
+		return
+	}
+	sp.Err = err.Error()
+}
+
+// End stamps the duration and records the span into the ring.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.Duration = time.Since(sp.Start)
+	recorder.record(*sp)
+}
+
+// String renders a span as one human-readable trace line.
+func (sp *Span) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", sp.Op, sp.Duration)
+	if len(sp.Shards) > 0 {
+		fmt.Fprintf(&b, " shards=%v", sp.Shards)
+	}
+	var src []string
+	if sp.LogStore {
+		src = append(src, "logstore")
+	}
+	if sp.NodeFile {
+		src = append(src, "nodefile")
+	}
+	if sp.EdgeFile {
+		src = append(src, "edgefile")
+	}
+	if len(src) > 0 {
+		fmt.Fprintf(&b, " src=%s", strings.Join(src, "+"))
+	}
+	if sp.Fanout > 0 || sp.Remote > 0 {
+		fmt.Fprintf(&b, " fanout=%d local=%d remote=%d", sp.Fanout, sp.Local, sp.Remote)
+	}
+	if sp.Bytes > 0 {
+		fmt.Fprintf(&b, " bytes=%d", sp.Bytes)
+	}
+	if sp.Err != "" {
+		fmt.Fprintf(&b, " err=%q", sp.Err)
+	}
+	return b.String()
+}
+
+// spanRingSize is the flight-recorder capacity.
+const spanRingSize = 256
+
+// spanRing keeps the most recent spans. Recording takes a short mutex —
+// spans end once per query, far off the per-fragment hot path.
+type spanRing struct {
+	mu    sync.Mutex
+	spans [spanRingSize]Span
+	next  int
+	total int64
+}
+
+var recorder spanRing
+
+func (r *spanRing) record(sp Span) {
+	r.mu.Lock()
+	r.spans[r.next] = sp
+	r.next = (r.next + 1) % spanRingSize
+	r.total++
+	r.mu.Unlock()
+}
+
+// RecentSpans returns up to n most recent spans, newest first.
+func RecentSpans(n int) []Span {
+	recorder.mu.Lock()
+	defer recorder.mu.Unlock()
+	if n <= 0 || int64(n) > recorder.total {
+		n = int(min64(int64(spanRingSize), recorder.total))
+	}
+	if n > spanRingSize {
+		n = spanRingSize
+	}
+	out := make([]Span, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := (recorder.next - i + spanRingSize) % spanRingSize
+		out = append(out, recorder.spans[idx])
+	}
+	return out
+}
+
+// SpanTotal returns how many spans have been recorded since start.
+func SpanTotal() int64 {
+	recorder.mu.Lock()
+	defer recorder.mu.Unlock()
+	return recorder.total
+}
+
+// ResetSpans clears the flight recorder (tests).
+func ResetSpans() {
+	recorder.mu.Lock()
+	defer recorder.mu.Unlock()
+	recorder.spans = [spanRingSize]Span{}
+	recorder.next = 0
+	recorder.total = 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

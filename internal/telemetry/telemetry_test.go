@@ -1,0 +1,303 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs f with telemetry on, restoring the prior state.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	f()
+}
+
+// TestConcurrentExactTotals hammers a counter, gauge, histogram and the
+// span ring from 32 goroutines and asserts exact totals — the -race
+// gate for the lock-free paths.
+func TestConcurrentExactTotals(t *testing.T) {
+	withEnabled(t, func() {
+		prev := SetSpanSampling(1) // exact span totals need every query traced
+		defer SetSpanSampling(prev)
+		ResetSpans()
+		r := &Registry{}
+		c := r.NewCounterL("t_ops_total", "", "")
+		g := r.NewGauge("t_inflight", "")
+		h := r.NewHistogramL("t_latency_ns", "", "")
+
+		const goroutines = 32
+		const perG = 2000
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for j := 0; j < perG; j++ {
+					c.Add(2)
+					g.Inc()
+					h.Observe(int64(seed*perG + j))
+					sp := StartSpan("t.op")
+					sp.AddShard(seed)
+					sp.AddBytes(1)
+					sp.End()
+					g.Dec()
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		if got, want := c.Value(), int64(goroutines*perG*2); got != want {
+			t.Errorf("counter = %d, want %d", got, want)
+		}
+		if got := g.Value(); got != 0 {
+			t.Errorf("gauge = %d, want 0", got)
+		}
+		if got, want := h.Count(), int64(goroutines*perG); got != want {
+			t.Errorf("histogram count = %d, want %d", got, want)
+		}
+		// Sum of 0..N-1 observations (negative-clamped values absent).
+		n := int64(goroutines * perG)
+		if got, want := h.Sum(), n*(n-1)/2; got != want {
+			t.Errorf("histogram sum = %d, want %d", got, want)
+		}
+		if got, want := SpanTotal(), int64(goroutines*perG); got != want {
+			t.Errorf("span total = %d, want %d", got, want)
+		}
+		if got := len(RecentSpans(0)); got != spanRingSize {
+			t.Errorf("ring holds %d spans, want %d", got, spanRingSize)
+		}
+	})
+}
+
+// TestDisabledRecordsNothing verifies the atomic gate: no counter or
+// histogram movement, no spans, zero Timers.
+func TestDisabledRecordsNothing(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	ResetSpans()
+	r := &Registry{}
+	c := r.NewCounterL("t_off_total", "", "")
+	h := r.NewHistogramL("t_off_ns", "", "")
+	c.Inc()
+	h.Observe(100)
+	if sp := StartSpan("t.off"); sp != nil {
+		t.Error("StartSpan should return nil while disabled")
+	}
+	if tm := StartTimer(); !tm.start.IsZero() {
+		t.Error("StartTimer should return a zero Timer while disabled")
+	}
+	if c.Value() != 0 || h.Count() != 0 || SpanTotal() != 0 {
+		t.Errorf("disabled telemetry recorded: counter=%d hist=%d spans=%d",
+			c.Value(), h.Count(), SpanTotal())
+	}
+	// Nil-safe span methods must not panic.
+	var sp *Span
+	sp.AddShard(1)
+	sp.MarkLogStore()
+	sp.SetFanout(1, 2, 3)
+	sp.AddBytes(4)
+	sp.End()
+}
+
+// TestExpositionGolden locks down the Prometheus text format byte for
+// byte over a registry with one of each metric kind.
+func TestExpositionGolden(t *testing.T) {
+	withEnabled(t, func() {
+		r := &Registry{}
+		reqs := r.NewCounterL("zipg_requests_total", `op="get"`, "Requests served.")
+		reqsPut := r.NewCounterL("zipg_requests_total", `op="put"`, "Requests served.")
+		inflight := r.NewGauge("zipg_inflight", "In-flight requests.")
+		lat := r.NewHistogramL("zipg_latency_ns", "", "Request latency.")
+
+		reqs.Add(5)
+		reqsPut.Add(2)
+		inflight.Set(3)
+		lat.Observe(1)   // bucket le=1
+		lat.Observe(3)   // bucket le=4
+		lat.Observe(100) // bucket le=128
+		lat.Observe(100)
+
+		want := strings.Join([]string{
+			`# HELP zipg_inflight In-flight requests.`,
+			`# TYPE zipg_inflight gauge`,
+			`zipg_inflight 3`,
+			`# HELP zipg_latency_ns Request latency.`,
+			`# TYPE zipg_latency_ns histogram`,
+			`zipg_latency_ns_bucket{le="1"} 1`,
+			`zipg_latency_ns_bucket{le="4"} 2`,
+			`zipg_latency_ns_bucket{le="128"} 4`,
+			`zipg_latency_ns_bucket{le="+Inf"} 4`,
+			`zipg_latency_ns_sum 204`,
+			`zipg_latency_ns_count 4`,
+			`# HELP zipg_requests_total Requests served.`,
+			`# TYPE zipg_requests_total counter`,
+			`zipg_requests_total{op="get"} 5`,
+			`zipg_requests_total{op="put"} 2`,
+		}, "\n") + "\n"
+		if got := r.Expose(); got != want {
+			t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+		}
+	})
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	withEnabled(t, func() {
+		r := &Registry{}
+		h := r.NewHistogramL("t_q_ns", "", "")
+		// 100 observations: 90 fast (<=64), 10 slow (<=4096).
+		for i := 0; i < 90; i++ {
+			h.Observe(50)
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(4000)
+		}
+		if p := h.P50(); p != 64 {
+			t.Errorf("p50 = %d, want 64", p)
+		}
+		if p := h.P95(); p != 4096 {
+			t.Errorf("p95 = %d, want 4096", p)
+		}
+		if p := h.P99(); p != 4096 {
+			t.Errorf("p99 = %d, want 4096", p)
+		}
+		if m := h.Mean(); m < 440 || m > 450 {
+			t.Errorf("mean = %v, want ~445", m)
+		}
+	})
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1 << 20, 20}, {1<<40 + 1, numBuckets}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	withEnabled(t, func() {
+		r := &Registry{}
+		c := r.NewCounterL("t_d_total", "", "")
+		h := r.NewHistogramL("t_d_ns", "", "")
+		c.Add(3)
+		h.Observe(10)
+		before := r.Snapshot()
+		c.Add(4)
+		h.Observe(20)
+		h.Observe(40)
+		after := r.Snapshot()
+		d := Delta(before, after)
+		if d["t_d_total"] != 4 {
+			t.Errorf("counter delta = %v, want 4", d["t_d_total"])
+		}
+		if d["t_d_ns.count"] != 2 || d["t_d_ns.sum"] != 60 {
+			t.Errorf("hist delta = %v", d)
+		}
+		if d["t_d_ns.mean"] != 30 {
+			t.Errorf("hist mean = %v, want 30", d["t_d_ns.mean"])
+		}
+	})
+}
+
+func TestSpanString(t *testing.T) {
+	sp := &Span{
+		Op: "store.get_node_props", Duration: 1500 * time.Nanosecond,
+		Shards: []int{0, 2}, LogStore: true, NodeFile: true,
+		Fanout: 2, Local: 1, Remote: 4, Bytes: 96,
+	}
+	s := sp.String()
+	for _, frag := range []string{"store.get_node_props", "shards=[0 2]", "src=logstore+nodefile", "fanout=2 local=1 remote=4", "bytes=96"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("span string %q missing %q", s, frag)
+		}
+	}
+}
+
+// TestSpanSampling verifies the flight recorder records exactly one
+// span per sampling period, and that period 1 records everything.
+func TestSpanSampling(t *testing.T) {
+	withEnabled(t, func() {
+		prev := SetSpanSampling(8)
+		defer SetSpanSampling(prev)
+		ResetSpans()
+		spanTick.Store(0)
+		for i := 0; i < 80; i++ {
+			sp := StartSpan("t.sampled")
+			sp.End()
+		}
+		if got := SpanTotal(); got != 10 {
+			t.Errorf("sampled span total = %d, want 10", got)
+		}
+		SetSpanSampling(1)
+		ResetSpans()
+		for i := 0; i < 5; i++ {
+			sp := StartSpan("t.all")
+			if sp == nil {
+				t.Fatal("sampling=1 must trace every span")
+			}
+			sp.End()
+		}
+		if got := SpanTotal(); got != 5 {
+			t.Errorf("unsampled span total = %d, want 5", got)
+		}
+	})
+}
+
+func TestVecReuse(t *testing.T) {
+	withEnabled(t, func() {
+		v := NewCounterVec("t_vec_total", "method", "")
+		a1 := v.With("A")
+		a2 := v.With("A")
+		if a1 != a2 {
+			t.Error("CounterVec.With should return the same counter")
+		}
+		hv := NewHistogramVec("t_vec_ns", "method", "")
+		if hv.With("B") != hv.With("B") {
+			t.Error("HistogramVec.With should return the same histogram")
+		}
+	})
+}
+
+func BenchmarkCounterParallel(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	r := &Registry{}
+	c := r.NewCounterL("b_total", "", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatalf("count %d != N %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	r := &Registry{}
+	c := r.NewCounterL("b_off_total", "", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	r := &Registry{}
+	h := r.NewHistogramL("b_ns", "", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
