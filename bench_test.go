@@ -14,11 +14,13 @@ package zipg_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"zipg"
 	"zipg/internal/bench"
 	"zipg/internal/gen"
+	"zipg/internal/parallel"
 	"zipg/internal/workloads"
 )
 
@@ -187,6 +189,71 @@ func BenchmarkCompress(b *testing.B) {
 		if _, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkerCounts returns the pool sizes each parallel benchmark
+// compares: the sequential baseline plus NumCPU (when they differ).
+func benchWorkerCounts() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1, 2}
+}
+
+// BenchmarkParallelFindNodes measures multi-fragment get_node_ids at
+// pool size 1 (sequential baseline) and NumCPU, on a store fragmented
+// across ≥8 fragments by forced LogStore rollovers.
+func BenchmarkParallelFindNodes(b *testing.B) {
+	d := gen.DatasetSpec{
+		Name: "pfind", Kind: gen.RealWorld,
+		TargetBytes: 256 << 10, AvgDegree: 15, NumEdgeTypes: 5, Seed: 5151,
+	}.Generate()
+	g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{
+		NumShards:         4,
+		LogStoreThreshold: 16 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; g.Store().Rollovers() < 4; i++ {
+		src := d.Nodes[i%len(d.Nodes)]
+		if err := g.AppendNode(int64(d.NumNodes()+i), src.Props); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pool := d.Vocab["prop00"]
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.GetNodeIDs(map[string]string{"prop00": pool[i%len(pool)]})
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCompress measures multi-shard compression at pool
+// size 1 and NumCPU (4 independent shards build concurrently).
+func BenchmarkParallelCompress(b *testing.B) {
+	d := gen.DatasetSpec{
+		Name: "pcompress", Kind: gen.RealWorld,
+		TargetBytes: 128 << 10, AvgDegree: 10, NumEdgeTypes: 3, Seed: 98,
+	}.Generate()
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			b.SetBytes(d.RawBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{NumShards: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

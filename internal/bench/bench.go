@@ -259,6 +259,9 @@ var Experiments = map[string]func(Options) (*Result, error){
 	// End-to-end telemetry readout on a live loopback cluster (no paper
 	// figure; validates the observability layer and §4.1's fan-out).
 	"telemetry-cluster": TelemetryCluster,
+	// Worker-pool sweep over multi-fragment search and multi-shard
+	// builds (no paper figure; §3.4/§4.1's aggregator parallelism).
+	"parallel-scaling": ParallelScaling,
 }
 
 // ExperimentNames returns the runnable experiment IDs, sorted.

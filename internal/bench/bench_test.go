@@ -234,8 +234,8 @@ func TestBuildSystemUnknown(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 17 {
-		t.Fatalf("want 17 experiments, got %d: %v", len(names), names)
+	if len(names) != 18 {
+		t.Fatalf("want 18 experiments, got %d: %v", len(names), names)
 	}
 }
 
@@ -293,5 +293,19 @@ func TestAblationShardsRuns(t *testing.T) {
 	r := runExperiment(t, "ablation-shards")
 	if len(r.Rows) != 5 {
 		t.Fatalf("want 5 shard counts, got %d", len(r.Rows))
+	}
+}
+
+func TestParallelScalingShape(t *testing.T) {
+	r := runExperiment(t, "parallel-scaling")
+	if len(r.Rows) < 1 {
+		t.Fatal("no worker-count rows")
+	}
+	if r.Rows[0][0] != "1" {
+		t.Fatalf("first row should be the 1-worker baseline, got %q", r.Rows[0][0])
+	}
+	// The baseline row's speedups are 1.00x by construction.
+	if r.Rows[0][2] != "1.00x" || r.Rows[0][4] != "1.00x" {
+		t.Fatalf("baseline speedups != 1.00x: %v", r.Rows[0])
 	}
 }

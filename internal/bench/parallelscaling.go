@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"zipg"
+	"zipg/internal/gen"
+	"zipg/internal/parallel"
+	"zipg/internal/workloads"
+)
+
+// ParallelScaling sweeps the shared worker pool over the fig8-style
+// graph-search workload (no paper figure; measures the intra-store
+// parallelism of the aggregator, §3.4/§4.1). Two operations are timed at
+// every pool size: multi-fragment get_node_ids on a heavily fragmented
+// store (≥8 fragments: primaries + frozen LogStore generations + the
+// live log) and a fresh multi-shard Compress. Results are identical at
+// every size — only wall-clock changes.
+func ParallelScaling(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	d := gen.DatasetSpec{
+		Name:         "pscale",
+		Kind:         gen.RealWorld,
+		TargetBytes:  opts.BaseBytes * 2,
+		AvgDegree:    15,
+		NumEdgeTypes: 5,
+		Seed:         2601,
+	}.Generate()
+
+	// Fragment the store: a small LogStore threshold plus a write stream
+	// forces repeated rollovers, each freezing a new compressed fragment.
+	g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{
+		NumShards:         4,
+		SamplingRate:      32,
+		LogStoreThreshold: opts.BaseBytes / 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nextID := int64(d.NumNodes())
+	for i := 0; g.Store().Rollovers() < 4; i++ {
+		src := d.Nodes[i%len(d.Nodes)]
+		if err := g.AppendNode(nextID, src.Props); err != nil {
+			return nil, err
+		}
+		nextID++
+	}
+
+	// The searched workload: GS3 (get_node_ids over two properties) —
+	// the query class that touches every fragment.
+	ops := workloads.FilterGSKind(workloads.GenerateGSOps(d, 77, opts.Ops*5), workloads.KindGS3)
+	if len(ops) > opts.Ops {
+		ops = ops[:opts.Ops]
+	}
+
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var sweep []int
+	for _, w := range counts {
+		if w > 0 && !seen[w] {
+			seen[w] = true
+			sweep = append(sweep, w)
+		}
+	}
+
+	r := &Result{
+		Title:   "Parallel scaling: shared-pool speedup for multi-fragment search and multi-shard compression",
+		Headers: []string{"workers", "findnodes-KOps", "findnodes-speedup", "compress-ms", "compress-speedup"},
+		Notes: []string{
+			fmt.Sprintf("store: %d fragments after %d rollovers; GOMAXPROCS=%d, NumCPU=%d",
+				g.Store().NumFragments(), g.Store().Rollovers(), runtime.GOMAXPROCS(0), runtime.NumCPU()),
+			"speedups are relative to the 1-worker row; expect ~1.0x when GOMAXPROCS=1",
+		},
+	}
+
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	var searchBase, buildBase time.Duration
+	for _, w := range sweep {
+		parallel.SetWorkers(w)
+
+		start := time.Now()
+		for _, op := range ops {
+			workloads.ExecuteGS(g, op, false)
+		}
+		searchWall := time.Since(start)
+
+		start = time.Now()
+		if _, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{
+			NumShards:    8,
+			SamplingRate: 32,
+		}); err != nil {
+			return nil, err
+		}
+		buildWall := time.Since(start)
+
+		if w == 1 {
+			searchBase, buildBase = searchWall, buildWall
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(w),
+			kops(float64(len(ops)) / searchWall.Seconds()),
+			fmt.Sprintf("%.2fx", float64(searchBase)/float64(searchWall)),
+			fmt.Sprintf("%.1f", float64(buildWall)/float64(time.Millisecond)),
+			fmt.Sprintf("%.2fx", float64(buildBase)/float64(buildWall)),
+		})
+	}
+	return r, nil
+}

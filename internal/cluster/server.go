@@ -20,6 +20,7 @@ import (
 	"zipg/internal/graphapi"
 	"zipg/internal/layout"
 	"zipg/internal/memsim"
+	"zipg/internal/parallel"
 	"zipg/internal/rpc"
 	"zipg/internal/store"
 	"zipg/internal/telemetry"
@@ -239,10 +240,12 @@ func (s *Server) registerHandlers() {
 		if err := rpc.DecodeArgs(blob, &a); err != nil {
 			return nil, err
 		}
-		out := make([]bool, len(a.IDs))
-		for i, id := range a.IDs {
-			out[i] = s.store.HasNode(id) && s.store.NodeMatches(id, a.Props)
-		}
+		// A shipped batch checks many independent nodes; fan the
+		// compressed-shard lookups out over the shared pool.
+		out := parallel.Map("cluster.match_batch", len(a.IDs), func(i int) bool {
+			id := a.IDs[i]
+			return s.store.HasNode(id) && s.store.NodeMatches(id, a.Props)
+		})
 		return out, nil
 	})
 	s.rpc.Handle("FindNodes", func(blob []byte) (any, error) {
@@ -394,20 +397,15 @@ func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props ma
 		mFanout.Observe(int64(remoteOwners))
 		sp.SetFanout(remoteOwners, localIDs, remoteIDs)
 	}
+	// Ship every remote batch first so RPC round trips are in flight
+	// while the local subquery runs on the shared pool — the aggregator
+	// overlap of §4.1 (remote owners work in parallel with this server).
 	var out []graphapi.NodeID
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(perOwner))
 	for owner, ids := range perOwner {
 		if owner == s.cfg.ID {
-			// Local checks need no shipping.
-			for _, dst := range ids {
-				if s.store.HasNode(dst) && s.store.NodeMatches(dst, props) {
-					mu.Lock()
-					out = append(out, dst)
-					mu.Unlock()
-				}
-			}
 			continue
 		}
 		wg.Add(1)
@@ -431,6 +429,19 @@ func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props ma
 			}
 			mu.Unlock()
 		}(owner, ids)
+	}
+	if local := perOwner[s.cfg.ID]; len(local) > 0 {
+		matches := parallel.Map("cluster.local_subquery", len(local), func(i int) bool {
+			dst := local[i]
+			return s.store.HasNode(dst) && s.store.NodeMatches(dst, props)
+		})
+		mu.Lock()
+		for i, ok := range matches {
+			if ok {
+				out = append(out, local[i])
+			}
+		}
+		mu.Unlock()
 	}
 	wg.Wait()
 	select {

@@ -11,6 +11,7 @@ import (
 
 	"zipg/internal/layout"
 	"zipg/internal/memsim"
+	"zipg/internal/parallel"
 	"zipg/internal/succinct"
 )
 
@@ -57,9 +58,17 @@ func Build(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *lay
 		return nil, fmt.Errorf("core: edge file: %w", err)
 	}
 	succOpts := succinct.Options{SamplingRate: opts.SamplingRate, Medium: opts.Medium}
+	// The NodeFile and EdgeFile suffix arrays are independent; build them
+	// concurrently on the shared pool (each Build stays sequential inside).
+	stores := parallel.Map("core.build_succinct", 2, func(i int) *succinct.Store {
+		if i == 0 {
+			return succinct.Build(nodeFlat, succOpts)
+		}
+		return succinct.Build(edgeFlat, succOpts)
+	})
 	s := &Shard{
-		nodeStore:    succinct.Build(nodeFlat, succOpts),
-		edgeStore:    succinct.Build(edgeFlat, succOpts),
+		nodeStore:    stores[0],
+		edgeStore:    stores[1],
 		edgeSrcs:     distinctSources(edges),
 		edgeIndex:    edgeIndex,
 		rawNodeBytes: len(nodeFlat),

@@ -1,0 +1,204 @@
+// Package parallel is ZipG's shared intra-store execution pool: one
+// process-wide, bounded set of worker tokens (sized from GOMAXPROCS,
+// overridable with SetWorkers) behind an ordered fan-out/fan-in
+// primitive. Every multi-fragment operation in the store — get_node_ids
+// and edge search across primaries + frozen generations + the LogStore,
+// multi-shard compression, the cluster aggregator's local subqueries —
+// fans its per-fragment work through Map, which is what lets a query
+// touch many compressed fragments without leaving cores idle (the
+// paper's aggregator parallelism, §3.4/§4.1).
+//
+// Design constraints, in order:
+//
+//   - Determinism: Map returns results in task-index order no matter how
+//     many workers ran or how they interleaved. Callers get byte-identical
+//     results at 1 worker and at NumCPU.
+//   - No deadlocks under nesting: a task may itself call Map (a cluster
+//     subquery runs FindNodes which fans out again). The calling
+//     goroutine always executes tasks itself and extra workers are
+//     borrowed non-blockingly from the shared token pool, so a saturated
+//     pool degrades to sequential execution instead of waiting.
+//   - Bounded: helper goroutines across all concurrent Map calls never
+//     exceed Workers()-1, so a query burst cannot pile up unbounded
+//     goroutines on top of the RPC layer's own concurrency.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zipg/internal/telemetry"
+)
+
+// Pool telemetry: instantaneous utilization for /metrics plus per-layer
+// task/wall counters from which the exporter-side speedup of each
+// fan-out site (task_ns / wall_ns) can be read.
+var (
+	mWorkers = telemetry.NewGauge("zipg_parallel_workers",
+		"Configured worker-pool size (GOMAXPROCS unless overridden).")
+	mInflight = telemetry.NewGauge("zipg_parallel_tasks_inflight",
+		"Fan-out tasks currently executing.")
+	mQueueDepth = telemetry.NewGauge("zipg_parallel_queue_depth",
+		"Fan-out tasks submitted but not yet started.")
+	mMaps = telemetry.NewCounterVec("zipg_parallel_maps_total", "layer",
+		"Fan-out operations, by call site.")
+	mTasks = telemetry.NewCounterVec("zipg_parallel_tasks_total", "layer",
+		"Fan-out tasks executed, by call site.")
+	mTaskNs = telemetry.NewCounterVec("zipg_parallel_task_ns_total", "layer",
+		"Summed per-task CPU-side nanoseconds, by call site (divide by wall_ns for the achieved speedup).")
+	mWallNs = telemetry.NewCounterVec("zipg_parallel_wall_ns_total", "layer",
+		"Wall-clock nanoseconds spent inside fan-outs, by call site.")
+)
+
+// pool is one immutable pool configuration. SetWorkers swaps the whole
+// struct atomically; helpers return their token to the pool they
+// borrowed it from, so a resize never corrupts accounting.
+type pool struct {
+	size   int
+	tokens chan struct{} // capacity size-1: the caller is worker zero
+}
+
+var cur atomic.Pointer[pool]
+
+func init() { SetWorkers(0) }
+
+// Workers returns the current pool size (the maximum number of
+// goroutines, caller included, one Map will use).
+func Workers() int { return cur.Load().size }
+
+// SetWorkers resizes the shared pool and returns the previous size.
+// n <= 0 resets to runtime.GOMAXPROCS(0). In-flight fan-outs finish on
+// the pool they started with; new fan-outs see the new size.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	prev := 0
+	if p := cur.Load(); p != nil {
+		prev = p.size
+	}
+	p := &pool{size: n, tokens: make(chan struct{}, n-1)}
+	for i := 0; i < n-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	cur.Store(p)
+	mWorkers.Set(int64(n))
+	return prev
+}
+
+// Do runs fn(0) … fn(n-1), distributing tasks over the calling
+// goroutine plus up to Workers()-1 borrowed helpers, and returns when
+// all tasks have finished. layer labels the call site in telemetry.
+func Do(layer string, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p := cur.Load()
+	if n == 1 || p.size == 1 {
+		// Sequential fallback: no goroutines, no gauge churn. This is
+		// also the GOMAXPROCS=1 path, so it must stay semantically
+		// identical to the fan-out below (it is: same fn, same order).
+		tel := telemetry.Enabled()
+		var tm telemetry.Timer
+		if tel {
+			mMaps.With(layer).Inc()
+			mTasks.With(layer).Add(int64(n))
+			tm = telemetry.StartTimer()
+		}
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		if tel {
+			ns := int64(tm.Elapsed())
+			mTaskNs.With(layer).Add(ns)
+			mWallNs.With(layer).Add(ns)
+		}
+		return
+	}
+
+	tel := telemetry.Enabled()
+	var wallTm telemetry.Timer
+	if tel {
+		mMaps.With(layer).Inc()
+		mTasks.With(layer).Add(int64(n))
+		wallTm = telemetry.StartTimer()
+	}
+	mQueueDepth.Add(int64(n))
+	var next atomic.Int64
+	var taskNs atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			mQueueDepth.Dec()
+			mInflight.Inc()
+			if tel {
+				start := time.Now()
+				fn(i)
+				taskNs.Add(int64(time.Since(start)))
+			} else {
+				fn(i)
+			}
+			mInflight.Dec()
+		}
+	}
+
+	// Borrow helpers without blocking: if the pool is drained (other
+	// fan-outs, or we are nested inside one), the caller just does the
+	// work itself — guaranteed progress, no deadlock.
+	want := n - 1
+	if m := p.size - 1; want > m {
+		want = m
+	}
+	var wg sync.WaitGroup
+borrow:
+	for h := 0; h < want; h++ {
+		select {
+		case <-p.tokens:
+		default:
+			break borrow // pool drained; the caller works alone
+		}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				p.tokens <- struct{}{}
+				wg.Done()
+			}()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	if tel {
+		mTaskNs.With(layer).Add(taskNs.Load())
+		mWallNs.With(layer).Add(int64(wallTm.Elapsed()))
+	}
+}
+
+// Map runs fn(0) … fn(n-1) on the shared pool and returns the results
+// in index order — deterministic regardless of worker count or
+// scheduling. layer labels the call site in telemetry.
+func Map[T any](layer string, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Do(layer, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible tasks. All n tasks run; the reported error
+// is the lowest-index one (deterministic across worker counts). On
+// error the results are discarded.
+func MapErr[T any](layer string, n int, fn func(i int) (T, error)) ([]T, error) {
+	errs := make([]error, n)
+	out := make([]T, n)
+	Do(layer, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zipg/internal/telemetry"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		prev := SetWorkers(w)
+		got := Map("test", 100, func(i int) int { return i * i })
+		SetWorkers(prev)
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d", w, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryTaskOnce(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var counts [256]atomic.Int32
+	Do("test", len(counts), func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapErrFirstErrorByIndex(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	e3, e7 := errors.New("task 3"), errors.New("task 7")
+	_, err := MapErr("test", 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, e3
+		case 7:
+			return 0, e7
+		}
+		return i, nil
+	})
+	if err != e3 {
+		t.Fatalf("err = %v, want the lowest-index error %v", err, e3)
+	}
+	out, err := MapErr("test", 10, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 10 || out[9] != 9 {
+		t.Fatalf("clean MapErr = %v, %v", out, err)
+	}
+}
+
+func TestSetWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if SetWorkers(5) != runtime.GOMAXPROCS(0) {
+		t.Fatal("SetWorkers did not return previous size")
+	}
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", Workers())
+	}
+}
+
+// TestNestedMapNoDeadlock exercises the nesting that happens in
+// production: a cluster subquery task calls FindNodes which fans out
+// again. Helper tokens are borrowed non-blockingly, so inner Maps run
+// (possibly sequentially) instead of waiting on the drained pool.
+func TestNestedMapNoDeadlock(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	done := make(chan []int, 1)
+	go func() {
+		done <- Map("outer", 8, func(i int) int {
+			inner := Map("inner", 8, func(j int) int { return i*8 + j })
+			sum := 0
+			for _, v := range inner {
+				sum += v
+			}
+			return sum
+		})
+	}()
+	select {
+	case out := <-done:
+		for i, v := range out {
+			want := 0
+			for j := 0; j < 8; j++ {
+				want += i*8 + j
+			}
+			if v != want {
+				t.Fatalf("out[%d] = %d, want %d", i, v, want)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Map deadlocked")
+	}
+}
+
+// TestConcurrentMapsShareTokens hammers the pool from many goroutines;
+// afterwards every token must be back (a follow-up Map can still borrow
+// helpers) and the gauges must read zero.
+func TestConcurrentMapsShareTokens(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				out := Map(fmt.Sprintf("g%d", g%4), 17, func(i int) int { return i })
+				if len(out) != 17 || out[16] != 16 {
+					t.Errorf("bad result %v", out)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := mInflight.Value(); n != 0 {
+		t.Fatalf("inflight gauge = %d after quiesce", n)
+	}
+	if n := mQueueDepth.Value(); n != 0 {
+		t.Fatalf("queue depth gauge = %d after quiesce", n)
+	}
+	p := cur.Load()
+	if got := len(p.tokens); got != p.size-1 {
+		t.Fatalf("pool leaked tokens: %d of %d returned", got, p.size-1)
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	was := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(was)
+	before := telemetry.TakeSnapshot()
+	Do("counter-test", 12, func(i int) { time.Sleep(time.Millisecond) })
+	d := telemetry.Delta(before, telemetry.TakeSnapshot())
+	if got := d[`zipg_parallel_tasks_total{layer="counter-test"}`]; got != 12 {
+		t.Fatalf("tasks counter delta = %v, want 12", got)
+	}
+	if got := d[`zipg_parallel_maps_total{layer="counter-test"}`]; got != 1 {
+		t.Fatalf("maps counter delta = %v, want 1", got)
+	}
+	if d[`zipg_parallel_task_ns_total{layer="counter-test"}`] <= 0 ||
+		d[`zipg_parallel_wall_ns_total{layer="counter-test"}`] <= 0 {
+		t.Fatal("task/wall ns counters did not advance")
+	}
+}
+
+func TestDoZeroAndOne(t *testing.T) {
+	Do("test", 0, func(i int) { t.Fatal("ran a task for n=0") })
+	ran := false
+	Do("test", 1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("n=1 did not run task 0")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"zipg/internal/core"
 	"zipg/internal/layout"
 	"zipg/internal/logstore"
+	"zipg/internal/parallel"
 	"zipg/internal/telemetry"
 )
 
@@ -44,11 +45,18 @@ func (s *Store) Compact() error {
 		partEdges[p] = append(partEdges[p], e)
 	}
 	opts := core.Options{SamplingRate: s.cfg.SamplingRate, Medium: s.cfg.Medium}
-	fresh := make([]*core.Shard, s.cfg.NumShards)
-	for p := 0; p < s.cfg.NumShards; p++ {
-		if fresh[p], err = core.Build(partNodes[p], partEdges[p], s.nodeSchema, s.edgeSchema, opts); err != nil {
-			return fmt.Errorf("store: compact shard %d: %w", p, err)
+	// The fresh shards are independent, so their suffix-array builds fan
+	// out over the shared pool; none of them touches s.mu, so holding the
+	// write lock here is safe.
+	fresh, err := parallel.MapErr("store.compact_shards", s.cfg.NumShards, func(p int) (*core.Shard, error) {
+		sh, err := core.Build(partNodes[p], partEdges[p], s.nodeSchema, s.edgeSchema, opts)
+		if err != nil {
+			return nil, fmt.Errorf("store: compact shard %d: %w", p, err)
 		}
+		return sh, nil
+	})
+	if err != nil {
+		return err
 	}
 
 	s.primaries = fresh

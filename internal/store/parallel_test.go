@@ -1,0 +1,150 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"zipg/internal/layout"
+	"zipg/internal/parallel"
+)
+
+// fragmentedTestStore builds a store whose data spans many fragments:
+// small LogStore threshold, forced rollovers, plus node and physical
+// edge deletions — the worst case for the parallel search paths.
+func fragmentedTestStore(t testing.TB) *Store {
+	t.Helper()
+	ns, es := testSchemas(t)
+	nodes, edges := testGraph(120, 400, 7)
+	s, err := New(nodes, edges, ns, es, Config{
+		NumShards:         4,
+		SamplingRate:      8,
+		LogStoreThreshold: 6 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := int64(len(nodes))
+	for i := 0; s.Rollovers() < 2; i++ {
+		src := nodes[i%len(nodes)]
+		if err := s.AppendNode(next, src.Props); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AppendEdge(layout.Edge{
+			Src: src.ID, Dst: next, Type: int64(i % 3),
+			Timestamp: int64(20000 + i), Props: map[string]string{"weight": "7"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	}
+	for id := int64(0); id < 120; id += 17 {
+		s.DeleteNode(id)
+	}
+	for _, e := range edges[:40] {
+		s.DeleteEdges(e.Src, e.Type, e.Dst)
+	}
+	return s
+}
+
+// TestParallelDeterminism is the golden test: FindNodes and FindEdges
+// must return byte-identical results at pool sizes 1, 2 and NumCPU on a
+// fragmented store (post-rollover, with deletes).
+func TestParallelDeterminism(t *testing.T) {
+	s := fragmentedTestStore(t)
+	queries := []map[string]string{
+		{"location": "Ithaca"},
+		{"location": "Berkeley", "age": "25"},
+		{"name": "user42"},
+		{"location": "Chicago"},
+	}
+	edgeQueries := []map[string]string{
+		{"weight": "7"},
+		{"weight": "3"},
+	}
+
+	sizes := []int{1, 2, runtime.NumCPU()}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	goldenNodes := make([][]layout.NodeID, len(queries))
+	for i, q := range queries {
+		goldenNodes[i] = s.FindNodes(q)
+	}
+	goldenEdges := make([][]layout.Edge, len(edgeQueries))
+	for i, q := range edgeQueries {
+		goldenEdges[i] = s.FindEdges(q)
+	}
+	if got := len(goldenNodes[0]); got == 0 {
+		t.Fatal("golden FindNodes found nothing; queries are not exercising the store")
+	}
+	if got := len(goldenEdges[0]); got == 0 {
+		t.Fatal("golden FindEdges found nothing; queries are not exercising the store")
+	}
+
+	for _, w := range sizes {
+		parallel.SetWorkers(w)
+		for i, q := range queries {
+			if got := s.FindNodes(q); !reflect.DeepEqual(got, goldenNodes[i]) {
+				t.Fatalf("workers=%d: FindNodes(%v) = %v, want %v", w, q, got, goldenNodes[i])
+			}
+		}
+		for i, q := range edgeQueries {
+			if got := s.FindEdges(q); !reflect.DeepEqual(got, goldenEdges[i]) {
+				t.Fatalf("workers=%d: FindEdges(%v) diverged from the 1-worker golden", w, q)
+			}
+		}
+	}
+}
+
+// TestParallelReadWriteRace mixes the parallel search paths with
+// concurrent writes and deletes across 16 goroutines; run under -race
+// it validates the snapshot/lock discipline of the fan-out code.
+func TestParallelReadWriteRace(t *testing.T) {
+	s := fragmentedTestStore(t)
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+
+	const goroutines = 16
+	const opsEach = 30
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				switch g % 4 {
+				case 0:
+					s.FindNodes(map[string]string{"location": "Ithaca"})
+				case 1:
+					s.FindEdges(map[string]string{"weight": "7"})
+				case 2:
+					id := int64(10000 + g*opsEach + i)
+					if err := s.AppendNode(id, map[string]string{
+						"age": "30", "location": "Berkeley", "name": fmt.Sprintf("w%d", id),
+					}); err != nil {
+						errCh <- err
+						return
+					}
+					if err := s.AppendEdge(layout.Edge{
+						Src: id, Dst: int64(i), Type: int64(i % 3),
+						Timestamp: int64(i), Props: map[string]string{"weight": "1"},
+					}); err != nil {
+						errCh <- err
+						return
+					}
+				default:
+					s.DeleteNode(int64(g*opsEach + i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

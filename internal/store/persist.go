@@ -10,6 +10,7 @@ import (
 	"zipg/internal/layout"
 	"zipg/internal/logstore"
 	"zipg/internal/memsim"
+	"zipg/internal/parallel"
 )
 
 // This file implements §4.1's data persistence: the store serializes its
@@ -148,23 +149,29 @@ func Load(r io.Reader, med *memsim.Medium) (*Store, error) {
 	if s.ptrs == nil {
 		s.ptrs = make(map[layout.NodeID][]int)
 	}
-	var frags []*core.Shard
-	for i, blob := range wire.Primaries {
-		sh, err := core.UnmarshalShard(blob, med)
-		if err != nil {
-			return nil, fmt.Errorf("store: load primary %d: %w", i, err)
+	// Every fragment blob deserializes independently; fan the unmarshals
+	// out over the shared pool (frags keeps the primaries-then-frozen
+	// order the DeletedPhys fragment indexes were saved against).
+	nPrim := len(wire.Primaries)
+	frags, err := parallel.MapErr("store.load_shards", nPrim+len(wire.Frozen), func(i int) (*core.Shard, error) {
+		if i < nPrim {
+			sh, err := core.UnmarshalShard(wire.Primaries[i], med)
+			if err != nil {
+				return nil, fmt.Errorf("store: load primary %d: %w", i, err)
+			}
+			return sh, nil
 		}
-		s.primaries = append(s.primaries, sh)
-		frags = append(frags, sh)
-	}
-	for g, blob := range wire.Frozen {
-		sh, err := core.UnmarshalShard(blob, med)
+		sh, err := core.UnmarshalShard(wire.Frozen[i-nPrim], med)
 		if err != nil {
-			return nil, fmt.Errorf("store: load frozen %d: %w", g, err)
+			return nil, fmt.Errorf("store: load frozen %d: %w", i-nPrim, err)
 		}
-		s.frozen = append(s.frozen, sh)
-		frags = append(frags, sh)
+		return sh, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.primaries = frags[:nPrim:nPrim]
+	s.frozen = frags[nPrim:]
 	s.log = logstore.New(nodeSchema, edgeSchema, med, len(s.frozen))
 	for _, n := range wire.LogNodes {
 		if err := s.log.AddNode(n.ID, n.Props); err != nil {

@@ -17,6 +17,7 @@ import (
 	"zipg/internal/layout"
 	"zipg/internal/logstore"
 	"zipg/internal/memsim"
+	"zipg/internal/parallel"
 	"zipg/internal/telemetry"
 )
 
@@ -98,13 +99,19 @@ func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layou
 		partEdges[p] = append(partEdges[p], e)
 	}
 	opts := core.Options{SamplingRate: cfg.SamplingRate, Medium: cfg.Medium}
-	for p := 0; p < cfg.NumShards; p++ {
+	// Independent shards compress concurrently (each suffix-array build
+	// stays sequential internally); the paper builds one shard per core.
+	shards, err := parallel.MapErr("store.build_shards", cfg.NumShards, func(p int) (*core.Shard, error) {
 		sh, err := core.Build(partNodes[p], partEdges[p], nodeSchema, edgeSchema, opts)
 		if err != nil {
 			return nil, fmt.Errorf("store: shard %d: %w", p, err)
 		}
-		s.primaries = append(s.primaries, sh)
+		return sh, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.primaries = shards
 	s.log = logstore.New(nodeSchema, edgeSchema, cfg.Medium, 0)
 	return s, nil
 }
@@ -482,7 +489,12 @@ func (s *Store) NodeMatches(id layout.NodeID, props map[string]string) bool {
 
 // FindNodes returns the IDs of all live nodes whose current properties
 // match every pair (Table 1's get_node_ids). Per §4.1, this is the one
-// query that must touch all fragments.
+// query that must touch all fragments — so the per-fragment compressed
+// searches fan out over the shared worker pool, as does the stale-match
+// re-verification, with nothing but the fragment-set snapshot and the
+// final merge running under the store lock. Results are deterministic
+// across pool sizes: per-fragment hit lists come back in fragment order
+// and the output is sorted by ID.
 func (s *Store) FindNodes(props map[string]string) []layout.NodeID {
 	if len(props) == 0 {
 		return nil
@@ -491,38 +503,49 @@ func (s *Store) FindNodes(props map[string]string) []layout.NodeID {
 	tm := telemetry.StartTimer()
 	defer tm.ObserveInto(mLatFindNodes)
 	s.mu.RLock()
+	primaries := s.primaries
 	frozen := append([]*core.Shard(nil), s.frozen...)
 	log := s.log
 	s.mu.RUnlock()
 
-	seen := make(map[layout.NodeID]bool)
-	var out []layout.NodeID
-	consider := func(id layout.NodeID) {
-		if seen[id] {
-			return
+	// One task per fragment; each collects hits into its own local
+	// slice so the dedup below is a single merge pass.
+	nFrags := len(primaries) + len(frozen) + 1
+	perFrag := parallel.Map("store.find_nodes", nFrags, func(i int) []layout.NodeID {
+		switch {
+		case i < len(primaries):
+			return primaries[i].Nodes().FindNodes(props)
+		case i < len(primaries)+len(frozen):
+			return frozen[i-len(primaries)].Nodes().FindNodes(props)
+		default:
+			return log.FindNodes(props)
 		}
-		seen[id] = true
+	})
+	seen := make(map[layout.NodeID]bool)
+	var cands []layout.NodeID
+	for _, ids := range perFrag {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				cands = append(cands, id)
+			}
+		}
+	}
+	// Verify each candidate against the node's current version outside
+	// any lock: a match in an old fragment may be stale. Each check is
+	// an independent fanned-updates read, so it fans out too.
+	matched := parallel.Map("store.verify_nodes", len(cands), func(i int) bool {
+		id := cands[i]
 		s.mu.RLock()
 		deleted := s.deletedNodes[id]
 		s.mu.RUnlock()
-		// Verify against the node's current version: a match in an old
-		// fragment may be stale.
-		if !deleted && s.NodeMatches(id, props) {
-			out = append(out, id)
+		return !deleted && s.NodeMatches(id, props)
+	})
+	var out []layout.NodeID
+	for i, ok := range matched {
+		if ok {
+			out = append(out, cands[i])
 		}
-	}
-	for _, sh := range s.primaries {
-		for _, id := range sh.Nodes().FindNodes(props) {
-			consider(id)
-		}
-	}
-	for _, sh := range frozen {
-		for _, id := range sh.Nodes().FindNodes(props) {
-			consider(id)
-		}
-	}
-	for _, id := range log.FindNodes(props) {
-		consider(id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -534,25 +557,48 @@ func (s *Store) HasNode(id layout.NodeID) bool {
 	return ok
 }
 
+// edgeHit is one fragment-local edge-search match: the decoded edge
+// plus the coordinates needed to check its lazy-deletion mark.
+type edgeHit struct {
+	sh        *core.Shard // nil for a LogStore hit
+	timeOrder int
+	e         layout.Edge
+}
+
 // FindEdges returns every live edge whose property list matches all
 // pairs exactly — the edge-property search §3.3 sketches as a NodeFile-
-// style extension. Like FindNodes it touches every fragment.
+// style extension. Like FindNodes it touches every fragment, so the
+// per-fragment compressed scans and edge-data decodes fan out over the
+// shared pool against a snapshot of the fragment set; the store lock is
+// held only for that snapshot and for one short deletion-filter pass at
+// the end. (It used to be held across the entire multi-fragment scan,
+// blocking every writer for the duration of a long search.)
 func (s *Store) FindEdges(props map[string]string) []layout.Edge {
 	if len(props) == 0 {
 		return nil
 	}
 	mOpFindEdges.Inc()
+	tm := telemetry.StartTimer()
+	defer tm.ObserveInto(mLatFindEdges)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []layout.Edge
-	collect := func(sh *core.Shard) {
+	shards := make([]*core.Shard, 0, len(s.primaries)+len(s.frozen))
+	shards = append(shards, s.primaries...)
+	shards = append(shards, s.frozen...)
+	log := s.log
+	s.mu.RUnlock()
+
+	perFrag := parallel.Map("store.find_edges", len(shards)+1, func(i int) []edgeHit {
+		if i == len(shards) {
+			es := log.FindEdges(props)
+			hits := make([]edgeHit, 0, len(es))
+			for _, e := range es {
+				hits = append(hits, edgeHit{e: e})
+			}
+			return hits
+		}
+		sh := shards[i]
+		var hits []edgeHit
 		for _, m := range sh.FindEdges(props) {
-			if s.deletedNodes[m.Src] {
-				continue
-			}
-			if s.deletedPhys[shardEdgeRef{sh, m.Src, m.Type}][m.TimeOrder] {
-				continue
-			}
 			ref, ok := sh.Edges().GetEdgeRecord(m.Src, m.Type)
 			if !ok {
 				continue
@@ -561,31 +607,41 @@ func (s *Store) FindEdges(props map[string]string) []layout.Edge {
 			if err != nil {
 				continue
 			}
-			out = append(out, layout.Edge{
+			hits = append(hits, edgeHit{sh: sh, timeOrder: m.TimeOrder, e: layout.Edge{
 				Src: m.Src, Dst: d.Dst, Type: m.Type,
 				Timestamp: d.Timestamp, Props: d.Props,
-			})
+			}})
+		}
+		return hits
+	})
+
+	s.mu.RLock()
+	var out []layout.Edge
+	for _, hits := range perFrag {
+		for _, h := range hits {
+			if s.deletedNodes[h.e.Src] {
+				continue
+			}
+			if h.sh != nil && s.deletedPhys[shardEdgeRef{h.sh, h.e.Src, h.e.Type}][h.timeOrder] {
+				continue
+			}
+			out = append(out, h.e)
 		}
 	}
-	for _, sh := range s.primaries {
-		collect(sh)
-	}
-	for _, sh := range s.frozen {
-		collect(sh)
-	}
-	for _, e := range s.log.FindEdges(props) {
-		if !s.deletedNodes[e.Src] {
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
+	s.mu.RUnlock()
+	// Stable sort on a (src, type, ts, dst) key over the fragment-ordered
+	// hit lists: identical output at every pool size.
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Src != out[j].Src {
 			return out[i].Src < out[j].Src
 		}
 		if out[i].Type != out[j].Type {
 			return out[i].Type < out[j].Type
 		}
-		return out[i].Timestamp < out[j].Timestamp
+		if out[i].Timestamp != out[j].Timestamp {
+			return out[i].Timestamp < out[j].Timestamp
+		}
+		return out[i].Dst < out[j].Dst
 	})
 	return out
 }
