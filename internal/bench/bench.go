@@ -262,6 +262,9 @@ var Experiments = map[string]func(Options) (*Result, error){
 	// Worker-pool sweep over multi-fragment search and multi-shard
 	// builds (no paper figure; §3.4/§4.1's aggregator parallelism).
 	"parallel-scaling": ParallelScaling,
+	// Succinct access-kernel latencies vs the recorded pre-kernel
+	// baseline (no paper figure; §3.1's extract/search primitives).
+	"kernel-bench": KernelBench,
 }
 
 // ExperimentNames returns the runnable experiment IDs, sorted.

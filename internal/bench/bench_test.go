@@ -234,8 +234,8 @@ func TestBuildSystemUnknown(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 18 {
-		t.Fatalf("want 18 experiments, got %d: %v", len(names), names)
+	if len(names) != 19 {
+		t.Fatalf("want 19 experiments, got %d: %v", len(names), names)
 	}
 }
 

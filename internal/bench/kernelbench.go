@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"zipg"
+	"zipg/internal/bitutil"
+	"zipg/internal/gen"
+	"zipg/internal/succinct"
+	"zipg/internal/workloads"
+)
+
+// kernelBaselines are the seed-tree measurements of the same operations,
+// taken with `go test -bench` on the commit preceding the access-kernel
+// rework (recorded in results/kernel-bench.txt; hardware-specific, so
+// the speedup column is only meaningful when the experiment runs on the
+// machine that produced the baseline — rerun both otherwise). Zero means
+// the operation had no pre-kernel counterpart.
+var kernelBaselines = map[string]float64{
+	"monotone-get":      20.39,
+	"monotone-searchge": 272.8,
+	"monotone-scan":     20.2, // per element
+	"extract-64B":       11133,
+	"search-count":      10254,
+	"obj-get":           198938,
+	"assoc-range":       91985,
+	"get-node-ids":      206004,
+}
+
+// measure reports ns/op for f over enough iterations to smooth timer
+// noise: one warmup call, then batches until ≥25ms of accumulated time.
+func measure(f func()) float64 {
+	f()
+	var total time.Duration
+	iters := 0
+	batch := 1
+	for total < 25*time.Millisecond {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			f()
+		}
+		total += time.Since(start)
+		iters += batch
+		if batch < 1<<16 {
+			batch *= 2
+		}
+	}
+	return float64(total.Nanoseconds()) / float64(iters)
+}
+
+// KernelBench measures the succinct access kernels end to end: the
+// monotone-vector primitives under Ψ, the extract/search primitives over
+// a compressed store, and the store-level queries they carry
+// (obj_get, assoc_range, get_node_ids). The workload shapes and input
+// sizes mirror the repo's go-test benchmarks so the rows are directly
+// comparable with the recorded pre-kernel baselines.
+func KernelBench(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+
+	// --- bitutil: Ψ-shaped monotone data (runs of +1, rare big jumps).
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]uint64, 1<<16)
+	for i := 1; i < len(vals); i++ {
+		step := uint64(1)
+		if rng.Intn(64) == 0 {
+			step = uint64(rng.Intn(1 << 20))
+		}
+		vals[i] = vals[i-1] + step
+	}
+	mv := bitutil.NewMonotoneVector(vals)
+	idx := make([]int, 1024)
+	for i := range idx {
+		idx[i] = rng.Intn(len(vals))
+	}
+	var sink uint64
+	i := 0
+	monoGet := measure(func() {
+		sink += mv.Get(idx[i%len(idx)])
+		i++
+	})
+	monoSearch := measure(func() {
+		target := vals[idx[i%len(idx)]]
+		sink += uint64(mv.SearchGE(0, mv.Len(), target))
+		i++
+	})
+	scanN := 1 << 12
+	monoScan := measure(func() {
+		c := mv.Cursor()
+		for k := 0; k < scanN; k++ {
+			sink += c.Next()
+		}
+	}) / float64(scanN)
+
+	// --- succinct: compressible text at the benchmark size.
+	text := make([]byte, 0, 1<<18)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "graph", "store", "query", "edge"}
+	wr := rand.New(rand.NewSource(1))
+	for len(text) < 1<<18 {
+		text = append(text, words[wr.Intn(len(words))]...)
+		text = append(text, ' ')
+	}
+	s := succinct.Build(text[:1<<18], succinct.Options{})
+	offs := make([]int, 1024)
+	or := rand.New(rand.NewSource(2))
+	for k := range offs {
+		offs[k] = or.Intn(s.InputLen() - 64)
+	}
+	buf := make([]byte, 0, 64)
+	extract := measure(func() {
+		buf = s.ExtractAppend(buf[:0], offs[i%len(offs)], 64)
+		i++
+	})
+	pats := [][]byte{[]byte("alpha "), []byte("gamma"), []byte("store q"), []byte("zeta")}
+	searchCount := measure(func() {
+		s.Count(pats[i%len(pats)])
+		i++
+	})
+
+	// --- store-level queries over the micro graph.
+	d := gen.DatasetSpec{
+		Name: "kernel", Kind: gen.RealWorld,
+		TargetBytes: 256 << 10, AvgDegree: 15, NumEdgeTypes: 5, Seed: 5150,
+	}.Generate()
+	g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, zipg.Options{NumShards: 2})
+	if err != nil {
+		return nil, err
+	}
+	tao := workloads.TAO{S: g}
+	objGet := measure(func() {
+		g.GetNodeProperty(int64(i%d.NumNodes()), nil)
+		i++
+	})
+	assocRange := measure(func() {
+		if _, err := tao.AssocRange(int64(i%d.NumNodes()), int64(i%5), 0, 10); err != nil {
+			panic(err)
+		}
+		i++
+	})
+	pool := d.Vocab["prop00"]
+	getNodeIDs := measure(func() {
+		g.GetNodeIDs(map[string]string{"prop00": pool[i%len(pool)]})
+		i++
+	})
+	_ = sink
+
+	r := &Result{
+		Title:   "Access kernels: per-operation latency vs the pre-kernel baseline",
+		Headers: []string{"kernel", "before-ns", "after-ns", "speedup"},
+		Notes: []string{
+			"before = seed-tree go-test benchmarks recorded in results/kernel-bench.txt (same machine);",
+			"rerun both sides when comparing on different hardware",
+			"monotone-scan is ns per element; extract-64B uses a reused (zero-alloc) destination buffer",
+		},
+	}
+	row := func(name string, after float64) {
+		before := kernelBaselines[name]
+		speedup := "-"
+		if before > 0 && after > 0 {
+			speedup = fmt.Sprintf("%.2fx", before/after)
+		}
+		r.Rows = append(r.Rows, []string{name, fmt.Sprintf("%.1f", before), fmt.Sprintf("%.1f", after), speedup})
+	}
+	row("monotone-get", monoGet)
+	row("monotone-searchge", monoSearch)
+	row("monotone-scan", monoScan)
+	row("extract-64B", extract)
+	row("search-count", searchCount)
+	row("obj-get", objGet)
+	row("assoc-range", assocRange)
+	row("get-node-ids", getNodeIDs)
+	return r, nil
+}

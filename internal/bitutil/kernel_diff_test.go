@@ -1,0 +1,219 @@
+package bitutil
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// adversarialSequences builds non-decreasing sequences chosen to stress
+// every block shape the monotone kernels distinguish: zero-width blocks,
+// width-1 runs, huge-jump blocks, partial final blocks, and mixes.
+func adversarialSequences() map[string][]uint64 {
+	seqs := map[string][]uint64{
+		"empty":        {},
+		"single":       {42},
+		"all-equal":    make([]uint64, 100),
+		"plus-one-run": make([]uint64, 3*monotoneBlock+5),
+		"half-block":   make([]uint64, monotoneHalf),
+		"half-plus":    make([]uint64, monotoneHalf+1),
+		"block-exact":  make([]uint64, monotoneBlock),
+		"block-plus":   make([]uint64, monotoneBlock+1),
+	}
+	for i := range seqs["all-equal"] {
+		seqs["all-equal"][i] = 7
+	}
+	for i := range seqs["plus-one-run"] {
+		seqs["plus-one-run"][i] = uint64(i)
+	}
+	for i := range seqs["half-block"] {
+		seqs["half-block"][i] = uint64(i * 3)
+	}
+	for i := range seqs["half-plus"] {
+		seqs["half-plus"][i] = uint64(i * 5)
+	}
+	for i := range seqs["block-exact"] {
+		seqs["block-exact"][i] = uint64(i * i)
+	}
+	for i := range seqs["block-plus"] {
+		seqs["block-plus"][i] = uint64(i) << 10
+	}
+
+	// Huge jumps: one delta per block forces the max width while the
+	// rest of the block is a +1 run — the Ψ shape sub-anchors target.
+	jumps := make([]uint64, 10*monotoneBlock+3)
+	v := uint64(0)
+	for i := 1; i < len(jumps); i++ {
+		if i%monotoneBlock == 5 {
+			v += 1 << 40
+		} else {
+			v++
+		}
+		jumps[i] = v
+	}
+	seqs["huge-jumps"] = jumps
+
+	// Alternating zero-width and wide blocks.
+	alt := make([]uint64, 8*monotoneBlock)
+	v = 0
+	for i := 1; i < len(alt); i++ {
+		if (i/monotoneBlock)%2 == 1 {
+			v += uint64(rand.New(rand.NewSource(int64(i))).Intn(1 << 20))
+		}
+		alt[i] = v
+	}
+	seqs["alternating"] = alt
+
+	// Random monotone with mixed magnitudes, partial last block.
+	rng := rand.New(rand.NewSource(99))
+	rnd := make([]uint64, 6*monotoneBlock+monotoneHalf+3)
+	for i := 1; i < len(rnd); i++ {
+		step := uint64(0)
+		switch rng.Intn(4) {
+		case 0:
+			step = uint64(rng.Intn(2))
+		case 1:
+			step = uint64(rng.Intn(100))
+		case 2:
+			step = uint64(rng.Intn(1 << 16))
+		case 3:
+			step = uint64(rng.Intn(1 << 30))
+		}
+		rnd[i] = rnd[i-1] + step
+	}
+	seqs["random-mixed"] = rnd
+	return seqs
+}
+
+// TestMonotoneGetAgainstReference checks Get against the raw sequence on
+// every adversarial pattern, and round-trips through serialization to
+// prove the sub-anchor slots survive encode/decode.
+func TestMonotoneGetAgainstReference(t *testing.T) {
+	for name, vals := range adversarialSequences() {
+		mv := NewMonotoneVector(vals)
+		dec, _, err := DecodeMonotoneVector(mv.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		for i, want := range vals {
+			if got := mv.Get(i); got != want {
+				t.Fatalf("%s: Get(%d)=%d want %d", name, i, got, want)
+			}
+			if got := dec.Get(i); got != want {
+				t.Fatalf("%s: decoded Get(%d)=%d want %d", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestMonotoneCursorAgainstGet drives a cursor through sequential scans,
+// random seeks and random At probes and checks every value against Get.
+func TestMonotoneCursorAgainstGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, vals := range adversarialSequences() {
+		if len(vals) == 0 {
+			continue
+		}
+		mv := NewMonotoneVector(vals)
+
+		// Full sequential scan.
+		c := mv.Cursor()
+		for i := range vals {
+			if got := c.Next(); got != vals[i] {
+				t.Fatalf("%s: cursor Next at %d = %d want %d", name, i, got, vals[i])
+			}
+		}
+
+		// Random seeks followed by short scans.
+		for trial := 0; trial < 50; trial++ {
+			start := rng.Intn(len(vals))
+			c.Seek(start)
+			if c.Pos() != start {
+				t.Fatalf("%s: Pos=%d after Seek(%d)", name, c.Pos(), start)
+			}
+			n := rng.Intn(2 * monotoneBlock)
+			for i := start; i < len(vals) && i < start+n; i++ {
+				if got := c.Next(); got != vals[i] {
+					t.Fatalf("%s: after Seek(%d), Next at %d = %d want %d", name, start, i, got, vals[i])
+				}
+			}
+		}
+
+		// Random At probes do not disturb the position.
+		c.Seek(0)
+		for trial := 0; trial < 50; trial++ {
+			i := rng.Intn(len(vals))
+			if got := c.At(i); got != vals[i] {
+				t.Fatalf("%s: At(%d)=%d want %d", name, i, got, vals[i])
+			}
+		}
+		if c.Pos() != 0 {
+			t.Fatalf("%s: At moved position to %d", name, c.Pos())
+		}
+	}
+}
+
+// TestMonotoneSearchGEAgainstReference checks SearchGE against a linear
+// reference over random sub-ranges and probe targets, including targets
+// below, between, equal to and above the stored values.
+func TestMonotoneSearchGEAgainstReference(t *testing.T) {
+	refSearch := func(vals []uint64, lo, hi int, target uint64) int {
+		for i := lo; i < hi; i++ {
+			if vals[i] >= target {
+				return i
+			}
+		}
+		return hi
+	}
+	rng := rand.New(rand.NewSource(11))
+	for name, vals := range adversarialSequences() {
+		if len(vals) == 0 {
+			continue
+		}
+		mv := NewMonotoneVector(vals)
+		for trial := 0; trial < 300; trial++ {
+			lo := rng.Intn(len(vals))
+			hi := lo + rng.Intn(len(vals)-lo+1)
+			var target uint64
+			switch rng.Intn(4) {
+			case 0:
+				target = vals[rng.Intn(len(vals))] // exact hit somewhere
+			case 1:
+				target = vals[rng.Intn(len(vals))] + uint64(rng.Intn(3))
+			case 2:
+				target = 0
+			case 3:
+				target = vals[len(vals)-1] + 1 // above everything
+			}
+			want := refSearch(vals, lo, hi, target)
+			if got := mv.SearchGE(lo, hi, target); got != want {
+				t.Fatalf("%s: SearchGE(%d,%d,%d)=%d want %d", name, lo, hi, target, got, want)
+			}
+		}
+	}
+}
+
+// TestSearchHelpersExhaustive checks the branchless SearchGE/SearchGT
+// against sort.Search on every slice length 0..40 with duplicate-heavy
+// contents and every target in range.
+func TestSearchHelpersExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n <= 40; n++ {
+		xs := make([]int64, n)
+		v := int64(0)
+		for i := range xs {
+			v += int64(rng.Intn(3)) // runs of duplicates
+			xs[i] = v
+		}
+		for target := int64(-1); target <= v+1; target++ {
+			wantGE := sort.Search(n, func(i int) bool { return xs[i] >= target })
+			if got := SearchGE(xs, target); got != wantGE {
+				t.Fatalf("SearchGE(%v, %d)=%d want %d", xs, target, got, wantGE)
+			}
+			wantGT := sort.Search(n, func(i int) bool { return xs[i] > target })
+			if got := SearchGT(xs, target); got != wantGT {
+				t.Fatalf("SearchGT(%v, %d)=%d want %d", xs, target, got, wantGT)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchMonotone builds a Ψ-shaped sequence: long runs of +1 deltas
+// interrupted by occasional large jumps, which is what per-bucket Ψ
+// looks like on compressible text.
+func benchMonotone(n int) *MonotoneVector {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]uint64, n)
+	var v uint64
+	for i := range vals {
+		if rng.Intn(64) == 0 {
+			v += uint64(rng.Intn(1 << 20))
+		} else {
+			v++
+		}
+		vals[i] = v
+	}
+	return NewMonotoneVector(vals)
+}
+
+// BenchmarkMonotoneGet measures random access: the inner operation of
+// every Ψ step on the extract/search path.
+func BenchmarkMonotoneGet(b *testing.B) {
+	mv := benchMonotone(1 << 16)
+	idx := make([]int, 1024)
+	rng := rand.New(rand.NewSource(7))
+	for i := range idx {
+		idx[i] = rng.Intn(mv.Len())
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += mv.Get(idx[i%len(idx)])
+	}
+	_ = sink
+}
+
+// BenchmarkMonotoneSearchGE measures the backward-search probe: one
+// lower-bound per pattern character per bucket.
+func BenchmarkMonotoneSearchGE(b *testing.B) {
+	mv := benchMonotone(1 << 16)
+	last := mv.Get(mv.Len() - 1)
+	rng := rand.New(rand.NewSource(9))
+	targets := make([]uint64, 1024)
+	for i := range targets {
+		targets[i] = uint64(rng.Int63n(int64(last)))
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += mv.SearchGE(0, mv.Len(), targets[i%len(targets)])
+	}
+	_ = sink
+}
+
+// BenchmarkMonotoneScan measures a sequential pass, the access pattern
+// of bucket-local streaming (SearchGE block scans, differential tests).
+func BenchmarkMonotoneScan(b *testing.B) {
+	mv := benchMonotone(1 << 12)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < mv.Len(); j++ {
+			sink += mv.Get(j)
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,52 @@
+package bitutil
+
+// Ordered constrains the branchless searches to the integer types the
+// succinct/layout indexes actually use.
+type Ordered interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64
+}
+
+// SearchGE returns the smallest index i with xs[i] >= target, or len(xs)
+// if none. xs must be sorted ascending.
+//
+// This is the hand-rolled replacement for closure-based sort.Search on
+// the decode hot paths: the halving loop keeps the probe count exact
+// (ceil(log2 n)) and the body compiles to a compare plus a conditional
+// add — no closure call, no bounds-check re-derivation per probe.
+func SearchGE[T Ordered](xs []T, target T) int {
+	base, n := 0, len(xs)
+	if n == 0 {
+		return 0
+	}
+	for n > 1 {
+		half := n / 2
+		if xs[base+half-1] < target {
+			base += half
+		}
+		n -= half
+	}
+	if xs[base] < target {
+		base++
+	}
+	return base
+}
+
+// SearchGT returns the smallest index i with xs[i] > target, or len(xs)
+// if none. xs must be sorted ascending.
+func SearchGT[T Ordered](xs []T, target T) int {
+	base, n := 0, len(xs)
+	if n == 0 {
+		return 0
+	}
+	for n > 1 {
+		half := n / 2
+		if xs[base+half-1] <= target {
+			base += half
+		}
+		n -= half
+	}
+	if xs[base] <= target {
+		base++
+	}
+	return base
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+
+	"zipg/internal/bitutil"
 )
 
 // Edge is one directed edge with its optional timestamp and property
@@ -156,7 +158,10 @@ func appendEdgeRecord(flat []byte, src NodeID, etype EdgeType, group []Edge, sch
 
 // EdgeRecordRef is a parsed handle to one EdgeRecord inside an EdgeFile:
 // it caches the metadata so that edge data lookups are pure random
-// accesses (§2.2's EdgeRecord).
+// accesses (§2.2's EdgeRecord). Accessors take the ref by pointer so the
+// first touch of a field window (timestamps, property lengths) can cache
+// its decoded form on the ref — later lookups against the same handle are
+// pure in-memory reads instead of repeated extracts.
 type EdgeRecordRef struct {
 	Src    NodeID
 	Type   EdgeType
@@ -170,6 +175,9 @@ type EdgeRecordRef struct {
 	dstOff  int
 	pLenOff int
 	propOff int
+
+	ts       []int64 // decoded timestamp array; nil until first use
+	propEnds []int   // prefix sums of property-list lengths; nil until first use
 }
 
 // EdgeFileView executes edge queries over a serialized EdgeFile. As with
@@ -253,19 +261,36 @@ func (v *EdgeFileView) GetEdgeRecords(src NodeID) []EdgeRecordRef {
 	return refs
 }
 
+// Timestamps returns the record's full (sorted) timestamp array,
+// decoding it in one extract on first use and caching it on the ref.
+func (v *EdgeFileView) Timestamps(ref *EdgeRecordRef) []int64 {
+	if ref.ts == nil {
+		raw := v.src.Extract(ref.tsOff, ref.Count*ref.TLen)
+		ts := make([]int64, 0, ref.Count)
+		for i := 0; i+ref.TLen <= len(raw); i += ref.TLen {
+			ts = append(ts, int64(DecodeFixed(raw[i:i+ref.TLen])))
+		}
+		ref.ts = ts
+	}
+	return ref.ts
+}
+
 // Timestamp returns the i-th (time-ordered) edge's timestamp.
-func (v *EdgeFileView) Timestamp(ref EdgeRecordRef, i int) int64 {
+func (v *EdgeFileView) Timestamp(ref *EdgeRecordRef, i int) int64 {
+	if ref.ts != nil {
+		return ref.ts[i]
+	}
 	return int64(DecodeFixed(v.src.Extract(ref.tsOff+i*ref.TLen, ref.TLen)))
 }
 
 // Destination returns the i-th edge's destination node ID.
-func (v *EdgeFileView) Destination(ref EdgeRecordRef, i int) NodeID {
+func (v *EdgeFileView) Destination(ref *EdgeRecordRef, i int) NodeID {
 	return NodeID(DecodeFixed(v.src.Extract(ref.dstOff+i*ref.DLen, ref.DLen)))
 }
 
 // Destinations returns all destination IDs of the record in time order,
 // in one extract (used by neighbor queries).
-func (v *EdgeFileView) Destinations(ref EdgeRecordRef) []NodeID {
+func (v *EdgeFileView) Destinations(ref *EdgeRecordRef) []NodeID {
 	raw := v.src.Extract(ref.dstOff, ref.Count*ref.DLen)
 	out := make([]NodeID, 0, ref.Count)
 	for i := 0; i+ref.DLen <= len(raw); i += ref.DLen {
@@ -274,16 +299,58 @@ func (v *EdgeFileView) Destinations(ref EdgeRecordRef) []NodeID {
 	return out
 }
 
-// propLocation returns the absolute offset and length of the i-th edge's
-// serialized property list by prefix-summing the length array.
-func (v *EdgeFileView) propLocation(ref EdgeRecordRef, i int) (int, int) {
-	raw := v.src.Extract(ref.pLenOff, (i+1)*ref.PLenW)
-	off := ref.propOff
-	for k := 0; k < i; k++ {
-		off += int(DecodeFixed(raw[k*ref.PLenW : (k+1)*ref.PLenW]))
+// propEndSums returns prefix sums of the record's property-list lengths:
+// entry i is the total length of lists 0..i. The length array is
+// extracted and summed once per ref, making every later property lookup
+// O(1) — previously each lookup re-summed the array, turning a scan of
+// an n-edge record into Θ(n²) decoding.
+func (v *EdgeFileView) propEndSums(ref *EdgeRecordRef) []int {
+	if ref.propEnds == nil {
+		raw := v.src.Extract(ref.pLenOff, ref.Count*ref.PLenW)
+		ends := make([]int, 0, ref.Count)
+		sum := 0
+		for i := 0; i+ref.PLenW <= len(raw); i += ref.PLenW {
+			sum += int(DecodeFixed(raw[i : i+ref.PLenW]))
+			ends = append(ends, sum)
+		}
+		ref.propEnds = ends
 	}
-	n := int(DecodeFixed(raw[i*ref.PLenW : (i+1)*ref.PLenW]))
-	return off, n
+	return ref.propEnds
+}
+
+// propLocation returns the absolute offset and length of the i-th edge's
+// serialized property list.
+func (v *EdgeFileView) propLocation(ref *EdgeRecordRef, i int) (int, int) {
+	ends := v.propEndSums(ref)
+	start := 0
+	if i > 0 {
+		start = ends[i-1]
+	}
+	return ref.propOff + start, ends[i] - start
+}
+
+// PropBlobs returns every edge's serialized property list in time order,
+// sharing one extract of the whole property area (the batched form of
+// per-edge prop reads; blobs alias the extract's backing array).
+func (v *EdgeFileView) PropBlobs(ref *EdgeRecordRef) [][]byte {
+	ends := v.propEndSums(ref)
+	out := make([][]byte, ref.Count)
+	if ref.Count == 0 {
+		return out
+	}
+	raw := v.src.Extract(ref.propOff, ends[len(ends)-1])
+	start := 0
+	for i, end := range ends {
+		if end > len(raw) {
+			end = len(raw)
+		}
+		if start > end {
+			start = end
+		}
+		out[i] = raw[start:end]
+		start = ends[i]
+	}
+	return out
 }
 
 // EdgeData is the triplet stored per edge (§2.2).
@@ -295,13 +362,15 @@ type EdgeData struct {
 
 // GetEdgeData returns the i-th edge's (destination, timestamp,
 // property list) — §2.2's get_edge_data, with i being the TimeOrder.
-func (v *EdgeFileView) GetEdgeData(ref EdgeRecordRef, i int) (EdgeData, error) {
+// After the record's field windows are cached on the ref, each call is
+// one destination extract, one property extract and O(1) arithmetic.
+func (v *EdgeFileView) GetEdgeData(ref *EdgeRecordRef, i int) (EdgeData, error) {
 	if i < 0 || i >= ref.Count {
 		return EdgeData{}, fmt.Errorf("layout: time order %d out of range [0,%d)", i, ref.Count)
 	}
 	d := EdgeData{
 		Dst:       v.Destination(ref, i),
-		Timestamp: v.Timestamp(ref, i),
+		Timestamp: v.Timestamps(ref)[i],
 	}
 	off, n := v.propLocation(ref, i)
 	if n > 0 {
@@ -318,9 +387,11 @@ func (v *EdgeFileView) GetEdgeData(ref EdgeRecordRef, i int) (EdgeData, error) {
 // TimeRange returns the half-open TimeOrder range [beg, end) of edges
 // with timestamps in [tLo, tHi), via binary search over the sorted
 // timestamp array (§3.3's motivation for sorted fixed-width timestamps).
-func (v *EdgeFileView) TimeRange(ref EdgeRecordRef, tLo, tHi int64) (int, int) {
-	beg := sort.Search(ref.Count, func(i int) bool { return v.Timestamp(ref, i) >= tLo })
-	end := sort.Search(ref.Count, func(i int) bool { return v.Timestamp(ref, i) >= tHi })
+// The array is decoded once (one extract) and searched in memory.
+func (v *EdgeFileView) TimeRange(ref *EdgeRecordRef, tLo, tHi int64) (int, int) {
+	ts := v.Timestamps(ref)
+	beg := bitutil.SearchGE(ts, tLo)
+	end := bitutil.SearchGE(ts, tHi)
 	return beg, end
 }
 
@@ -341,6 +412,9 @@ func (v *EdgeFileView) FindEdges(index []EdgeRecordIndex, props map[string]strin
 		starts[i] = r.Offset
 	}
 	var result map[EdgeMatch]int
+	// Hits cluster by record; share one parsed ref (and its cached
+	// prefix sums) across all hits in the same record.
+	recCache := make(map[int]*EdgeRecordRef)
 	needed := 0
 	for pid, val := range props {
 		order := v.schema.Order(pid)
@@ -356,9 +430,14 @@ func (v *EdgeFileView) FindEdges(index []EdgeRecordIndex, props map[string]strin
 			if ri < 0 {
 				continue
 			}
-			rec, ok := v.parseRecordAt(index[ri].Offset, len(RecordKey(index[ri].Src, index[ri].Type)), index[ri].Src, index[ri].Type)
-			if !ok {
-				continue
+			rec := recCache[ri]
+			if rec == nil {
+				r, ok := v.parseRecordAt(index[ri].Offset, len(RecordKey(index[ri].Src, index[ri].Type)), index[ri].Src, index[ri].Type)
+				if !ok {
+					continue
+				}
+				rec = &r
+				recCache[ri] = rec
 			}
 			order, ok := v.timeOrderOfPropOffset(rec, off)
 			if !ok {
@@ -398,30 +477,27 @@ type EdgeMatch struct {
 
 // timeOrderOfPropOffset maps a file offset inside a record's property
 // area to the TimeOrder of the edge whose serialized property list
-// contains it.
-func (v *EdgeFileView) timeOrderOfPropOffset(ref EdgeRecordRef, off int64) (int, bool) {
-	if off < int64(ref.propOff) {
+// contains it: the first prefix sum past the relative offset.
+func (v *EdgeFileView) timeOrderOfPropOffset(ref *EdgeRecordRef, off int64) (int, bool) {
+	rel := int(off) - ref.propOff
+	if rel < 0 {
 		return 0, false
 	}
-	raw := v.src.Extract(ref.pLenOff, ref.Count*ref.PLenW)
-	pos := int64(ref.propOff)
-	for i := 0; i < ref.Count; i++ {
-		n := int64(DecodeFixed(raw[i*ref.PLenW : (i+1)*ref.PLenW]))
-		if off < pos+n {
-			return i, true
-		}
-		pos += n
+	ends := v.propEndSums(ref)
+	i := bitutil.SearchGT(ends, rel)
+	if i >= len(ends) {
+		return 0, false
 	}
-	return 0, false
+	return i, true
 }
 
 // RecordEnd returns the file offset just past the record (useful for
 // tests and compaction).
-func (v *EdgeFileView) RecordEnd(ref EdgeRecordRef) int64 {
-	off := ref.propOff
-	raw := v.src.Extract(ref.pLenOff, ref.Count*ref.PLenW)
-	for k := 0; k*ref.PLenW+ref.PLenW <= len(raw); k++ {
-		off += int(DecodeFixed(raw[k*ref.PLenW : (k+1)*ref.PLenW]))
+func (v *EdgeFileView) RecordEnd(ref *EdgeRecordRef) int64 {
+	ends := v.propEndSums(ref)
+	end := ref.propOff
+	if len(ends) > 0 {
+		end += ends[len(ends)-1]
 	}
-	return int64(off)
+	return int64(end)
 }

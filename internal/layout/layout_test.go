@@ -360,7 +360,7 @@ func TestEdgeFileRecordsAndData(t *testing.T) {
 				t.Fatalf("record (%d,%d) count=%d, want %d", k[0], k[1], ref.Count, len(want))
 			}
 			for i, e := range want {
-				d, err := v.GetEdgeData(ref, i)
+				d, err := v.GetEdgeData(&ref, i)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -372,7 +372,7 @@ func TestEdgeFileRecordsAndData(t *testing.T) {
 				}
 			}
 			// Destinations in one call matches per-edge destinations.
-			dsts := v.Destinations(ref)
+			dsts := v.Destinations(&ref)
 			for i, e := range want {
 				if dsts[i] != e.Dst {
 					t.Fatalf("Destinations[%d] = %d, want %d", i, dsts[i], e.Dst)
@@ -427,7 +427,7 @@ func TestEdgeFileKeyPrefixSafety(t *testing.T) {
 	if !ok || ref.Count != 1 {
 		t.Fatalf("src=1,t=2: ok=%v count=%d", ok, ref.Count)
 	}
-	if d, _ := comp.GetEdgeData(ref, 0); d.Dst != 5 {
+	if d, _ := comp.GetEdgeData(&ref, 0); d.Dst != 5 {
 		t.Fatalf("wrong record matched: dst=%d", d.Dst)
 	}
 	if refs := comp.GetEdgeRecords(1); len(refs) != 2 {
@@ -444,17 +444,17 @@ func TestEdgeFileTimeRange(t *testing.T) {
 	raw, comp := edgeViews(t, edges, schema)
 	for _, v := range []*EdgeFileView{raw, comp} {
 		ref, _ := v.GetEdgeRecord(7, 0)
-		beg, end := v.TimeRange(ref, 100, 200)
+		beg, end := v.TimeRange(&ref, 100, 200)
 		if beg != 10 || end != 20 {
 			t.Fatalf("TimeRange[100,200) = [%d,%d), want [10,20)", beg, end)
 		}
 		// Inclusive lower, exclusive upper.
-		beg, end = v.TimeRange(ref, 0, 1)
+		beg, end = v.TimeRange(&ref, 0, 1)
 		if beg != 0 || end != 1 {
 			t.Fatalf("TimeRange[0,1) = [%d,%d)", beg, end)
 		}
 		// Out of range.
-		beg, end = v.TimeRange(ref, 10_000, 20_000)
+		beg, end = v.TimeRange(&ref, 10_000, 20_000)
 		if beg != end {
 			t.Fatalf("empty range not empty: [%d,%d)", beg, end)
 		}
@@ -468,7 +468,7 @@ func TestEdgeFileTimestampsSorted(t *testing.T) {
 		ref, _ := comp.GetEdgeRecord(k[0], k[1])
 		var prev int64 = -1
 		for i := 0; i < ref.Count; i++ {
-			ts := comp.Timestamp(ref, i)
+			ts := comp.Timestamp(&ref, i)
 			if ts < prev {
 				t.Fatalf("timestamps unsorted in (%d,%d) at %d", k[0], k[1], i)
 			}
@@ -509,7 +509,7 @@ func TestEdgeFileQuickRoundTrip(t *testing.T) {
 				return false
 			}
 			for i, e := range want {
-				d, err := v.GetEdgeData(ref, i)
+				d, err := v.GetEdgeData(&ref, i)
 				if err != nil || d.Dst != e.Dst || d.Timestamp != e.Timestamp {
 					return false
 				}
@@ -554,11 +554,11 @@ func TestRecordEnd(t *testing.T) {
 	v := NewEdgeFileView(NewRawSource(flat, nil), schema)
 	r1, _ := v.GetEdgeRecord(1, 0)
 	r2, _ := v.GetEdgeRecord(2, 0)
-	if v.RecordEnd(r1) != r2.Offset {
-		t.Fatalf("RecordEnd(r1)=%d, next record at %d", v.RecordEnd(r1), r2.Offset)
+	if v.RecordEnd(&r1) != r2.Offset {
+		t.Fatalf("RecordEnd(r1)=%d, next record at %d", v.RecordEnd(&r1), r2.Offset)
 	}
-	if v.RecordEnd(r2) != int64(len(flat)) {
-		t.Fatalf("RecordEnd(last)=%d, file len %d", v.RecordEnd(r2), len(flat))
+	if v.RecordEnd(&r2) != int64(len(flat)) {
+		t.Fatalf("RecordEnd(last)=%d, file len %d", v.RecordEnd(&r2), len(flat))
 	}
 }
 

@@ -2,8 +2,10 @@ package layout
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
+	"zipg/internal/bitutil"
 	"zipg/internal/memsim"
 )
 
@@ -90,7 +92,7 @@ func (v *NodeFileView) Contains(id NodeID) bool { return v.indexOf(id) >= 0 }
 
 // indexOf returns the index of id in the sorted index, or -1.
 func (v *NodeFileView) indexOf(id NodeID) int {
-	k := sort.Search(len(v.ids), func(i int) bool { return v.ids[i] >= id })
+	k := bitutil.SearchGE(v.ids, id)
 	// Charge the binary search's touches on the index.
 	v.med.Access(v.reg, int64(k)*16, 16)
 	if k < len(v.ids) && v.ids[k] == id {
@@ -101,7 +103,9 @@ func (v *NodeFileView) indexOf(id NodeID) int {
 
 // GetProperty returns the value of one property for a node and whether
 // the node exists and has the property. Per §3.4 this costs the index
-// lookup, the length-header bytes, and one extract of the value itself.
+// lookup, the length-header bytes, and one extract of the value itself —
+// issued as a single record walk, so over a compressed source the header
+// read and the value read share one ISA anchor.
 func (v *NodeFileView) GetProperty(id NodeID, propertyID string) (string, bool) {
 	k := v.indexOf(id)
 	if k < 0 {
@@ -111,44 +115,77 @@ func (v *NodeFileView) GetProperty(id NodeID, propertyID string) (string, bool) 
 	if order < 0 {
 		return "", false
 	}
-	base := int(v.offsets[k])
-	hdr := v.src.Extract(base, v.schema.headerSize())
-	if len(hdr) < v.schema.headerSize() {
+	sc := getScratch()
+	defer putScratch(sc)
+	hs := v.schema.headerSize()
+	w := newRecWalk(v.src, int(v.offsets[k]))
+	sc.buf = w.appendN(sc.buf[:0], hs)
+	if len(sc.buf) < hs {
 		return "", false
 	}
-	lengths := v.schema.decodeLengths(hdr)
+	lengths := sc.lengths(v.schema.NumProperties())
+	v.schema.decodeLengthsInto(lengths, sc.buf)
 	if lengths[order] == 0 {
 		return "", false
 	}
 	off, n := v.schema.valueLocation(lengths, order)
-	return string(v.src.Extract(base+off, n)), true
+	w.skip(off - hs)
+	sc.buf = w.appendN(sc.buf[:0], n)
+	return string(sc.buf), true
 }
 
 // GetProperties returns the values for the given property IDs; absent
 // properties yield empty strings. A nil or empty propertyIDs slice is the
-// wildcard: all properties in schema order (paper §2.2).
+// wildcard: all properties in schema order (paper §2.2). The record is
+// read in one front-to-back walk, skipping unrequested values.
 func (v *NodeFileView) GetProperties(id NodeID, propertyIDs []string) ([]string, bool) {
 	k := v.indexOf(id)
 	if k < 0 {
 		return nil, false
 	}
-	base := int(v.offsets[k])
-	hdr := v.src.Extract(base, v.schema.headerSize())
-	if len(hdr) < v.schema.headerSize() {
-		return nil, false
-	}
-	lengths := v.schema.decodeLengths(hdr)
 	if len(propertyIDs) == 0 {
 		propertyIDs = v.schema.IDs()
 	}
-	out := make([]string, len(propertyIDs))
+	sc := getScratch()
+	defer putScratch(sc)
+	hs := v.schema.headerSize()
+	w := newRecWalk(v.src, int(v.offsets[k]))
+	sc.buf = w.appendN(sc.buf[:0], hs)
+	if len(sc.buf) < hs {
+		return nil, false
+	}
+	lengths := sc.lengths(v.schema.NumProperties())
+	v.schema.decodeLengthsInto(lengths, sc.buf)
+	ords := sc.orders(len(propertyIDs))
+	last := -1
 	for i, pid := range propertyIDs {
-		order := v.schema.Order(pid)
-		if order < 0 || lengths[order] == 0 {
+		ords[i] = v.schema.Order(pid)
+		if ords[i] > last {
+			last = ords[i]
+		}
+	}
+	out := make([]string, len(propertyIDs))
+	for o := 0; o <= last; o++ {
+		w.skip(len(v.schema.Delimiter(o)))
+		n := lengths[o]
+		wanted := false
+		for _, ro := range ords {
+			if ro == o {
+				wanted = true
+				break
+			}
+		}
+		if !wanted || n == 0 {
+			w.skip(n)
 			continue
 		}
-		off, n := v.schema.valueLocation(lengths, order)
-		out[i] = string(v.src.Extract(base+off, n))
+		sc.buf = w.appendN(sc.buf[:0], n)
+		val := string(sc.buf)
+		for i, ro := range ords {
+			if ro == o {
+				out[i] = val
+			}
+		}
 	}
 	return out, true
 }
@@ -213,7 +250,7 @@ func (v *NodeFileView) FindNodes(props map[string]string) []NodeID {
 	for id := range result {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

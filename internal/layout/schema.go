@@ -241,10 +241,16 @@ func (s *PropertySchema) valueLocation(lengths []int, order int) (off, n int) {
 // decodeLengths parses the length header of a serialized record.
 func (s *PropertySchema) decodeLengths(hdr []byte) []int {
 	lengths := make([]int, len(s.ids))
-	for i := range lengths {
-		lengths[i] = int(DecodeFixed(hdr[i*s.LenWidth : (i+1)*s.LenWidth]))
-	}
+	s.decodeLengthsInto(lengths, hdr)
 	return lengths
+}
+
+// decodeLengthsInto parses the length header into dst, which must hold
+// NumProperties entries (the allocation-free form of decodeLengths).
+func (s *PropertySchema) decodeLengthsInto(dst []int, hdr []byte) {
+	for i := range dst {
+		dst[i] = int(DecodeFixed(hdr[i*s.LenWidth : (i+1)*s.LenWidth]))
+	}
 }
 
 // headerSize returns the size of the length header in bytes.

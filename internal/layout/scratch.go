@@ -1,0 +1,34 @@
+package layout
+
+import "sync"
+
+// recScratch is the reusable working set of one record read: a byte
+// buffer for extracted header/value windows and an int buffer for the
+// decoded length header. Views on the FindNodes/GetEdges hot paths
+// check one out per operation so steady-state reads do not allocate.
+type recScratch struct {
+	buf  []byte
+	lens []int
+	ords []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(recScratch) }}
+
+func getScratch() *recScratch  { return scratchPool.Get().(*recScratch) }
+func putScratch(s *recScratch) { scratchPool.Put(s) }
+
+// lengths returns s.lens resized to n (contents undefined).
+func (s *recScratch) lengths(n int) []int {
+	if cap(s.lens) < n {
+		s.lens = make([]int, n)
+	}
+	return s.lens[:n]
+}
+
+// orders returns s.ords resized to n (contents undefined).
+func (s *recScratch) orders(n int) []int {
+	if cap(s.ords) < n {
+		s.ords = make([]int, n)
+	}
+	return s.ords[:n]
+}

@@ -11,8 +11,8 @@ package layout
 
 import (
 	"bytes"
-	"sort"
 
+	"zipg/internal/bitutil"
 	"zipg/internal/memsim"
 	"zipg/internal/succinct"
 )
@@ -33,6 +33,70 @@ type ByteSource interface {
 
 // Compile-time check: the succinct store satisfies ByteSource.
 var _ ByteSource = (*succinct.Store)(nil)
+
+// byteAppender is the optional zero-alloc extension of ByteSource:
+// extract into a caller-supplied buffer instead of allocating the result.
+// Both backing sources implement it; extractAppend falls back for any
+// other ByteSource.
+type byteAppender interface {
+	ExtractAppend(dst []byte, off, n int) []byte
+}
+
+var (
+	_ byteAppender = (*succinct.Store)(nil)
+	_ byteAppender = (*RawSource)(nil)
+)
+
+// extractAppend appends up to n bytes at off to dst, reusing dst's
+// capacity when the source supports it.
+func extractAppend(src ByteSource, dst []byte, off, n int) []byte {
+	if a, ok := src.(byteAppender); ok {
+		return a.ExtractAppend(dst, off, n)
+	}
+	return append(dst, src.Extract(off, n)...)
+}
+
+// recWalk reads one record's bytes front to back over any ByteSource.
+// Over a succinct store it wraps a Walker, so parsing a record's header,
+// skipping to a field and reading the field is a single suffix-array walk
+// (one ISA anchor) instead of one anchor per Extract call; over raw bytes
+// it is plain offset arithmetic. A recWalk is a stack value — never
+// retain one.
+type recWalk struct {
+	sw  succinct.Walker // valid iff ss != nil
+	ss  *succinct.Store
+	src ByteSource // fallback path
+	off int        // fallback read position
+}
+
+// newRecWalk starts a walk at flat-file offset off.
+func newRecWalk(src ByteSource, off int) recWalk {
+	if s, ok := src.(*succinct.Store); ok {
+		return recWalk{ss: s, sw: s.Walk(off)}
+	}
+	return recWalk{src: src, off: off}
+}
+
+// appendN reads the next n bytes into dst (truncated at EOF) and
+// advances.
+func (r *recWalk) appendN(dst []byte, n int) []byte {
+	if r.ss != nil {
+		return r.sw.Append(dst, n)
+	}
+	before := len(dst)
+	dst = extractAppend(r.src, dst, r.off, n)
+	r.off += len(dst) - before
+	return dst
+}
+
+// skip advances n bytes without reading them.
+func (r *recWalk) skip(n int) {
+	if r.ss != nil {
+		r.sw.Skip(n)
+		return
+	}
+	r.off += n
+}
 
 // RawSource is an uncompressed ByteSource over a plain byte slice,
 // charging a simulated medium for every touch. The LogStore and the
@@ -74,6 +138,11 @@ func (r *RawSource) Extract(off, n int) []byte {
 	return r.data[off:end]
 }
 
+// ExtractAppend appends up to n bytes starting at off to dst.
+func (r *RawSource) ExtractAppend(dst []byte, off, n int) []byte {
+	return append(dst, r.Extract(off, n)...)
+}
+
 // Search implements ByteSource by linear scan. The scan charges the
 // medium for the full pass — this is exactly the cost profile the paper
 // ascribes to scanning uncompressed logs, and why the LogStore keeps
@@ -109,6 +178,5 @@ func (r *RawSource) Bytes() []byte { return r.data }
 // containing it, given the sorted record start offsets: the greatest i
 // with starts[i] <= off.
 func offsetToIndex(starts []int64, off int64) int {
-	i := sort.Search(len(starts), func(k int) bool { return starts[k] > off })
-	return i - 1
+	return bitutil.SearchGT(starts, off) - 1
 }

@@ -117,7 +117,7 @@ func (s *Store) materializeLocked() ([]layout.Node, []layout.Edge, error) {
 					if deleted[i] {
 						continue
 					}
-					d, err := sh.Edges().GetEdgeData(ref, i)
+					d, err := sh.Edges().GetEdgeData(&ref, i)
 					if err != nil {
 						return fmt.Errorf("store: compact: edge (%d,%d)[%d]: %w", src, ref.Type, i, err)
 					}

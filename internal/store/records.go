@@ -159,12 +159,13 @@ func (r *EdgeRecord) ensureMerged() {
 			}
 			continue
 		}
-		v := p.shard.Edges()
+		// One extract of the whole timestamp array instead of one per edge.
+		ts := p.shard.Edges().Timestamps(&p.ref)
 		for i := 0; i < p.ref.Count; i++ {
 			if p.deleted[i] {
 				continue
 			}
-			merged = append(merged, mergedEntry{pi, i, v.Timestamp(p.ref, i)})
+			merged = append(merged, mergedEntry{pi, i, ts[i]})
 		}
 	}
 	sort.SliceStable(merged, func(a, b int) bool { return merged[a].ts < merged[b].ts })
@@ -192,7 +193,7 @@ func (r *EdgeRecord) GetEdgeData(timeOrder int) (layout.EdgeData, error) {
 		return layout.EdgeData{}, fmt.Errorf("store: time order %d out of range [0,%d)", timeOrder, r.count)
 	}
 	if p, ok := r.singleCleanPiece(); ok {
-		d, err := p.shard.Edges().GetEdgeData(p.ref, timeOrder)
+		d, err := p.shard.Edges().GetEdgeData(&p.ref, timeOrder)
 		recordSuccinctEdgeData(d, err)
 		return d, err
 	}
@@ -210,7 +211,7 @@ func (r *EdgeRecord) GetEdgeData(timeOrder int) (layout.EdgeData, error) {
 		}
 		return layout.EdgeData{Dst: e.Dst, Timestamp: e.Timestamp, Props: props}, nil
 	}
-	d, err := p.shard.Edges().GetEdgeData(p.ref, m.idx)
+	d, err := p.shard.Edges().GetEdgeData(&p.ref, m.idx)
 	recordSuccinctEdgeData(d, err)
 	return d, err
 }
@@ -234,7 +235,7 @@ func recordSuccinctEdgeData(d layout.EdgeData, err error) {
 // expressed as tLo=0, tHi=math.MaxInt64 by callers.
 func (r *EdgeRecord) GetEdgeRange(tLo, tHi int64) (int, int) {
 	if p, ok := r.singleCleanPiece(); ok {
-		return p.shard.Edges().TimeRange(p.ref, tLo, tHi)
+		return p.shard.Edges().TimeRange(&p.ref, tLo, tHi)
 	}
 	r.ensureMerged()
 	beg := sort.Search(len(r.merged), func(i int) bool { return r.merged[i].ts >= tLo })
@@ -246,7 +247,7 @@ func (r *EdgeRecord) GetEdgeRange(tLo, tHi int64) (int, int) {
 // TimeOrder.
 func (r *EdgeRecord) Destinations() []layout.NodeID {
 	if p, ok := r.singleCleanPiece(); ok {
-		return p.shard.Edges().Destinations(p.ref)
+		return p.shard.Edges().Destinations(&p.ref)
 	}
 	r.ensureMerged()
 	out := make([]layout.NodeID, 0, len(r.merged))
@@ -255,7 +256,7 @@ func (r *EdgeRecord) Destinations() []layout.NodeID {
 		if p.shard == nil {
 			out = append(out, p.edges[m.idx].Dst)
 		} else {
-			out = append(out, p.shard.Edges().Destination(p.ref, m.idx))
+			out = append(out, p.shard.Edges().Destination(&p.ref, m.idx))
 		}
 	}
 	return out

@@ -210,7 +210,7 @@ func (s *Store) DeleteEdges(src layout.NodeID, etype layout.EdgeType, dst layout
 			continue
 		}
 		key := shardEdgeRef{sh, src, etype}
-		dsts := sh.Edges().Destinations(ref)
+		dsts := sh.Edges().Destinations(&ref)
 		for i, d := range dsts {
 			if d != dst || s.deletedPhys[key][i] {
 				continue
@@ -465,16 +465,24 @@ func propsToValues(props map[string]string, propertyIDs []string, schema *layout
 	return out
 }
 
+// pidScratch pools the property-ID slices NodeMatches builds; the
+// FindNodes verification step and neighbor property filters call it once
+// per candidate node, so the slice churn is worth recycling.
+var pidScratch = sync.Pool{New: func() any { return new([]string) }}
+
 // NodeMatches reports whether node id currently has every given
 // property value (resolving the newest version of the node).
 func (s *Store) NodeMatches(id layout.NodeID, props map[string]string) bool {
 	if len(props) == 0 {
 		return true
 	}
-	pids := make([]string, 0, len(props))
+	sp := pidScratch.Get().(*[]string)
+	pids := (*sp)[:0]
 	for pid := range props {
 		pids = append(pids, pid)
 	}
+	*sp = pids
+	defer pidScratch.Put(sp)
 	vals, ok := s.GetNodeProps(id, pids)
 	if !ok {
 		return false
@@ -598,9 +606,24 @@ func (s *Store) FindEdges(props map[string]string) []layout.Edge {
 		}
 		sh := shards[i]
 		var hits []edgeHit
+		// Matches cluster by (src, type); locating a record is itself a
+		// compressed search, so resolve each record once and share the
+		// ref (and its cached field windows) across its matches.
+		type srcType struct {
+			src layout.NodeID
+			t   layout.EdgeType
+		}
+		refs := make(map[srcType]*layout.EdgeRecordRef)
 		for _, m := range sh.FindEdges(props) {
-			ref, ok := sh.Edges().GetEdgeRecord(m.Src, m.Type)
-			if !ok {
+			k := srcType{m.Src, m.Type}
+			ref, seen := refs[k]
+			if !seen {
+				if r, ok := sh.Edges().GetEdgeRecord(m.Src, m.Type); ok {
+					ref = &r
+				}
+				refs[k] = ref
+			}
+			if ref == nil {
 				continue
 			}
 			d, err := sh.Edges().GetEdgeData(ref, m.TimeOrder)

@@ -2,7 +2,9 @@ package succinct
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"zipg/internal/bitutil"
 )
 
 // KVStore is Succinct's key-value interface (§3.1 of the ZipG paper:
@@ -36,7 +38,7 @@ func BuildKV(records map[int64][]byte, opts Options) (*KVStore, error) {
 	for id := range records {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 
 	var flat []byte
 	offsets := make([]int64, len(ids))
@@ -67,7 +69,7 @@ func (kv *KVStore) Keys() []int64 { return kv.ids }
 
 // indexOf returns the index of id, or -1.
 func (kv *KVStore) indexOf(id int64) int {
-	k := sort.Search(len(kv.ids), func(i int) bool { return kv.ids[i] >= id })
+	k := bitutil.SearchGE(kv.ids, id)
 	if k < len(kv.ids) && kv.ids[k] == id {
 		return k
 	}
@@ -122,7 +124,7 @@ func (kv *KVStore) SearchKeys(val []byte) []int64 {
 	seen := make(map[int64]bool)
 	var out []int64
 	for _, off := range offs {
-		k := sort.Search(len(kv.offsets), func(i int) bool { return kv.offsets[i] > off }) - 1
+		k := bitutil.SearchGT(kv.offsets, off) - 1
 		if k < 0 {
 			continue
 		}
@@ -132,7 +134,7 @@ func (kv *KVStore) SearchKeys(val []byte) []int64 {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

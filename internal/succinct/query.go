@@ -1,6 +1,6 @@
 package succinct
 
-import "sort"
+import "slices"
 
 // Extract returns up to length bytes of the original text starting at
 // offset off. If off+length runs past the end of the text the result is
@@ -11,21 +11,19 @@ func (s *Store) Extract(off, length int) []byte {
 	if off < 0 || off >= s.n-1 || length <= 0 {
 		return nil
 	}
-	s.chargeISAAt(off)
-	out := make([]byte, 0, length)
-	row := s.lookupISA(off, false)
-	for k := 0; k < length; k++ {
-		if k%extractChargeStride == 0 {
-			s.chargePsiAt(row)
-		}
-		c, next := s.stepRow(row, false)
-		if c == 0 {
-			break // sentinel: end of text
-		}
-		out = append(out, byte(c-1))
-		row = next
+	return s.ExtractAppend(make([]byte, 0, length), off, length)
+}
+
+// ExtractAppend appends up to length bytes of the original text starting
+// at offset off to dst and returns the extended slice — Extract without
+// the allocation. With a reused destination buffer the steady state is
+// zero allocations per call.
+func (s *Store) ExtractAppend(dst []byte, off, length int) []byte {
+	if off < 0 || off >= s.n-1 || length <= 0 {
+		return dst
 	}
-	return out
+	w := s.Walk(off)
+	return w.Append(dst, length)
 }
 
 // ExtractUntil returns the bytes starting at off up to (not including)
@@ -35,21 +33,8 @@ func (s *Store) ExtractUntil(off int, delim byte, max int) []byte {
 	if off < 0 || off >= s.n-1 || max <= 0 {
 		return nil
 	}
-	s.chargeISAAt(off)
-	out := make([]byte, 0, 16)
-	row := s.lookupISA(off, false)
-	for k := 0; k < max; k++ {
-		if k%extractChargeStride == 0 {
-			s.chargePsiAt(row)
-		}
-		c, next := s.stepRow(row, false)
-		if c == 0 || byte(c-1) == delim {
-			break
-		}
-		out = append(out, byte(c-1))
-		row = next
-	}
-	return out
+	w := s.Walk(off)
+	return w.AppendUntil(make([]byte, 0, 16), delim, max)
 }
 
 // CharAt returns the byte at text offset off.
@@ -109,7 +94,7 @@ func (s *Store) Search(pattern []byte) []int64 {
 	for row := lo; row < hi; row++ {
 		out = append(out, int64(s.LookupSA(row)))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -24,11 +24,11 @@ package succinct
 
 import (
 	"fmt"
-	"sort"
 
 	"zipg/internal/bitutil"
 	"zipg/internal/memsim"
 	"zipg/internal/suffix"
+	"zipg/internal/telemetry"
 )
 
 // DefaultSamplingRate is the default α. 32 matches the Succinct paper's
@@ -47,6 +47,12 @@ type Store struct {
 	// hold the suffixes beginning with bucketChar[k].
 	bucketChar  []int32
 	bucketStart []int32
+
+	// rowDir is the sampled row→bucket directory: rowDir[r>>rowDirShift]
+	// is the bucket containing row r<<rowDirShift, making bucketOfRow —
+	// executed once per Ψ step — O(1) amortized instead of a binary
+	// search. Derived from bucketStart; a few KB, charged to the medium.
+	rowDir []int32
 
 	// Ψ, stored per bucket.
 	psi []*bitutil.MonotoneVector
@@ -185,7 +191,31 @@ func packWithWidth(vals []uint64, width uint) *bitutil.PackedVector {
 	return pv
 }
 
+// rowDirShift fixes the row→bucket directory's sampling stride at
+// 1<<rowDirShift rows: one int32 per 256 rows is n/64 bytes — small
+// against Ψ's ~2 bytes/row — and a stride can span at most 256 bucket
+// boundaries in total across the whole directory, so the linear advance
+// in bucketOfRow is O(1) amortized.
+const rowDirShift = 8
+
+// buildRowDir derives the sampled row→bucket directory from the bucket
+// boundary table (never serialized; rebuilt at load).
+func (s *Store) buildRowDir() {
+	stride := 1 << rowDirShift
+	dir := make([]int32, (s.n+stride-1)/stride)
+	b := 0
+	for si := range dir {
+		row := int32(si << rowDirShift)
+		for s.bucketStart[b+1] <= row {
+			b++
+		}
+		dir[si] = int32(b)
+	}
+	s.rowDir = dir
+}
+
 func (s *Store) registerRegions() {
+	s.buildRowDir()
 	var psiBytes int
 	for _, p := range s.psi {
 		psiBytes += p.SizeBytes()
@@ -193,9 +223,10 @@ func (s *Store) registerRegions() {
 	s.regPsi = s.med.Register(int64(psiBytes))
 	s.regSA = s.med.Register(int64(s.saSampleBits.SizeBytes() + s.saSamples.SizeBytes()))
 	s.regISA = s.med.Register(int64(s.isaSamples.SizeBytes()))
-	// Bucket boundary tables are a few KB and always hot; account for
-	// them in the footprint without charging accesses.
-	s.med.Grow(int64(len(s.bucketChar)*4 + len(s.bucketStart)*4))
+	// Bucket boundary tables and the row→bucket directory are a few KB
+	// and always hot; account for them in the footprint without charging
+	// accesses.
+	s.med.Grow(int64(len(s.bucketChar)*4 + len(s.bucketStart)*4 + len(s.rowDir)*4))
 }
 
 // InputLen returns the length of the original (uncompressed) text.
@@ -206,7 +237,7 @@ func (s *Store) SamplingRate() int { return s.alpha }
 
 // CompressedSize returns the total in-memory footprint in bytes.
 func (s *Store) CompressedSize() int {
-	total := len(s.bucketChar)*4 + len(s.bucketStart)*4
+	total := len(s.bucketChar)*4 + len(s.bucketStart)*4 + len(s.rowDir)*4
 	for _, p := range s.psi {
 		total += p.SizeBytes()
 	}
@@ -217,16 +248,21 @@ func (s *Store) CompressedSize() int {
 // Medium returns the simulated storage the store lives on.
 func (s *Store) Medium() *memsim.Medium { return s.med }
 
-// bucketOfRow returns the bucket index containing row.
+// bucketOfRow returns the bucket index containing row: the directory
+// entry for the row's stride, advanced past any bucket boundaries inside
+// the stride. O(1) amortized — this runs once per Ψ step, so it is the
+// single hottest lookup in the store.
 func (s *Store) bucketOfRow(row int) int {
-	// The largest k with bucketStart[k] <= row.
-	k := sort.Search(len(s.bucketChar), func(i int) bool { return s.bucketStart[i+1] > int32(row) })
-	return k
+	b := int(s.rowDir[row>>rowDirShift])
+	for int(s.bucketStart[b+1]) <= row {
+		b++
+	}
+	return b
 }
 
 // bucketOfChar returns the bucket index for shifted char c, or -1.
 func (s *Store) bucketOfChar(c int32) int {
-	k := sort.Search(len(s.bucketChar), func(i int) bool { return s.bucketChar[i] >= c })
+	k := bitutil.SearchGE(s.bucketChar, c)
 	if k < len(s.bucketChar) && s.bucketChar[k] == c {
 		return k
 	}
@@ -272,6 +308,9 @@ func (s *Store) LookupSA(row int) int {
 	}
 	rank := s.saSampleBits.Rank1(row)
 	s.med.Access(s.regSA, int64(rank)*8, 8)
+	if telemetry.Enabled() {
+		mPsiSteps.Add(int64(steps))
+	}
 	v := int(s.saSamples.Get(rank)) - steps
 	if v < 0 {
 		v += s.n
@@ -296,6 +335,10 @@ func (s *Store) lookupISA(pos int, charge bool) int {
 	row := int(s.isaSamples.Get(q))
 	for p := q * s.alpha; p < pos; p++ {
 		row = s.psiAt(row, charge)
+	}
+	if telemetry.Enabled() {
+		mISALookups.Inc()
+		mPsiSteps.Add(int64(pos - q*s.alpha))
 	}
 	return row
 }
