@@ -12,27 +12,34 @@
 //	del-node <id>                   delete
 //	del-edge <src> <type> <dst>     delete
 //	save <path> / load <path>       persist / restore (local mode)
+//	trace [id]                      fetch + pretty-print a distributed
+//	                                span tree from -admin (no id: list)
 //	quit
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"zipg"
 	"zipg/internal/cluster"
 	"zipg/internal/gen"
 	"zipg/internal/graphapi"
+	"zipg/internal/telemetry"
 )
 
 func main() {
 	servers := flag.String("servers", "", "comma-separated cluster addresses (empty: local generated graph)")
 	dataset := flag.String("dataset", "orkut", "dataset for local mode")
 	base := flag.Int64("base", 128<<10, "local dataset base size")
+	admin := flag.String("admin", "", "a server's admin HTTP address (host:port), enables the trace command")
 	flag.Parse()
 
 	var store graphapi.Store
@@ -82,6 +89,10 @@ func main() {
 				if err := saveLocal(local, fields[1]); err != nil {
 					fmt.Println("error:", err)
 				}
+			case fields[0] == "trace":
+				if err := traceCmd(*admin, fields[1:]); err != nil {
+					fmt.Println("error:", err)
+				}
 			case fields[0] == "load" && len(fields) == 2:
 				g, err := loadLocal(fields[1])
 				if err != nil {
@@ -97,6 +108,85 @@ func main() {
 			}
 		}
 		fmt.Print("zipg> ")
+	}
+}
+
+// traceCmd fetches one assembled distributed span tree from a server's
+// admin endpoint and pretty-prints it; with no ID it lists the most
+// recent trace IDs instead.
+func traceCmd(admin string, args []string) error {
+	if admin == "" {
+		return fmt.Errorf("trace requires -admin host:port (a zipg-server admin endpoint)")
+	}
+	if !strings.Contains(admin, "://") {
+		admin = "http://" + admin
+	}
+	url := admin + "/debug/trace/"
+	if len(args) > 0 {
+		url += args[0]
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg strings.Builder
+		fmt.Fprintf(&msg, "%s: ", resp.Status)
+		buf := make([]byte, 256)
+		n, _ := resp.Body.Read(buf)
+		msg.Write(buf[:n])
+		return fmt.Errorf("%s", strings.TrimSpace(msg.String()))
+	}
+	if len(args) == 0 {
+		var ids []string
+		if err := json.NewDecoder(resp.Body).Decode(&ids); err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			fmt.Println("no traces recorded (is telemetry on and the trace sampled?)")
+			return nil
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	var tree telemetry.TraceTree
+	if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %d spans\n", tree.TraceID, tree.SpanCount)
+	for _, root := range tree.Roots {
+		printSpanTree(root, 0)
+	}
+	return nil
+}
+
+// printSpanTree renders one node of the span tree: op, origin server,
+// duration, then each phase with its share of the span's own duration.
+func printSpanTree(n *telemetry.TraceNode, depth int) {
+	indent := strings.Repeat("  ", depth)
+	where := "client"
+	if n.Span.Server >= 0 {
+		where = fmt.Sprintf("server %d", n.Span.Server)
+	}
+	fmt.Printf("%s%s  [%s]  %s", indent, n.Span.Op, where, n.Span.Duration)
+	if n.Span.Err != "" {
+		fmt.Printf("  ERR %q", n.Span.Err)
+	}
+	fmt.Println()
+	for _, p := range n.Span.Phases {
+		d := time.Duration(p.Ns)
+		pct := 0.0
+		if n.Span.Duration > 0 {
+			pct = 100 * float64(p.Ns) / float64(n.Span.Duration)
+		}
+		fmt.Printf("%s  · %-13s %12s  %5.1f%%\n", indent, p.Name, d, pct)
+	}
+	for _, c := range n.Children {
+		printSpanTree(c, depth+1)
 	}
 }
 

@@ -32,8 +32,10 @@ func main() {
 	shards := flag.Int("shards", 4, "shards per server (paper default: one per core)")
 	alpha := flag.Int("alpha", 32, "succinct sampling rate")
 	admin := flag.String("admin", "127.0.0.1:0",
-		"admin HTTP address serving /metrics, /healthz, /debug/vars, /debug/traces and /debug/pprof (empty to disable)")
+		"admin HTTP address serving /metrics, /healthz, /debug/vars, /debug/traces, /debug/trace/{id}, /debug/slow and /debug/pprof (empty to disable)")
 	noTelemetry := flag.Bool("no-telemetry", false, "disable telemetry recording (admin endpoints stay up)")
+	slowThreshold := flag.Duration("slow-threshold", telemetry.DefaultSlowThreshold,
+		"queries at least this slow enter the /debug/slow ring")
 	flag.Parse()
 
 	if *data == "" || *peers == "" {
@@ -84,6 +86,7 @@ func main() {
 	if !*noTelemetry {
 		telemetry.Enable()
 	}
+	telemetry.SetSlowThreshold(*slowThreshold)
 	var adminSrv *telemetry.AdminServer
 	if *admin != "" {
 		adminSrv, err = telemetry.ServeAdmin(*admin)
@@ -92,7 +95,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer adminSrv.Close()
-		fmt.Printf("server %d: admin endpoints on http://%s (/metrics /healthz /debug/vars /debug/traces /debug/pprof)\n",
+		fmt.Printf("server %d: admin endpoints on http://%s (/metrics /healthz /debug/vars /debug/traces /debug/trace/{id} /debug/slow /debug/pprof)\n",
 			*id, adminSrv.Addr)
 	}
 

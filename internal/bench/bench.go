@@ -259,6 +259,10 @@ var Experiments = map[string]func(Options) (*Result, error){
 	// End-to-end telemetry readout on a live loopback cluster (no paper
 	// figure; validates the observability layer and §4.1's fan-out).
 	"telemetry-cluster": TelemetryCluster,
+	// Distributed-tracing readout: per-phase latency attribution by
+	// server from assembled span trees on a live loopback cluster (no
+	// paper figure; validates the tracer and the phase taxonomy).
+	"trace-attribution": TraceAttribution,
 	// Worker-pool sweep over multi-fragment search and multi-shard
 	// builds (no paper figure; §3.4/§4.1's aggregator parallelism).
 	"parallel-scaling": ParallelScaling,

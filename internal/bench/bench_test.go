@@ -219,6 +219,41 @@ func TestTelemetryCluster(t *testing.T) {
 	}
 }
 
+// TestTraceAttribution runs the distributed-tracing readout and checks
+// the span trees attributed work to multiple servers with the expected
+// phase taxonomy.
+func TestTraceAttribution(t *testing.T) {
+	r := runExperiment(t, "trace-attribution")
+	servers := map[string]bool{}
+	phases := map[string]bool{}
+	for _, row := range r.Rows {
+		if strings.HasPrefix(row[0], "server ") {
+			servers[row[0]] = true
+		}
+		phases[row[1]] = true
+	}
+	if len(servers) < 2 {
+		t.Errorf("phase rows from %d servers, want ≥2:\n%s", len(servers), r.Format())
+	}
+	for _, p := range []string{"queue", "serialize", "network", "decode", "succinct_walk"} {
+		if !phases[p] {
+			t.Errorf("no %q phase row:\n%s", p, r.Format())
+		}
+	}
+	foundCoverage := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "coverage") {
+			foundCoverage = true
+			if strings.Contains(n, "of 0 server-side spans") {
+				t.Errorf("no server-side spans measured: %s", n)
+			}
+		}
+	}
+	if !foundCoverage {
+		t.Errorf("no serve-span coverage note in %v", r.Notes)
+	}
+}
+
 func TestBuildSystemUnknown(t *testing.T) {
 	d, err := datasetByName("orkut", 32<<10)
 	if err != nil {
@@ -234,8 +269,8 @@ func TestBuildSystemUnknown(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 19 {
-		t.Fatalf("want 19 experiments, got %d: %v", len(names), names)
+	if len(names) != 20 {
+		t.Fatalf("want 20 experiments, got %d: %v", len(names), names)
 	}
 }
 

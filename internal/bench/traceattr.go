@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"zipg"
+	"zipg/internal/cluster"
+	"zipg/internal/telemetry"
+	"zipg/internal/workloads"
+)
+
+// TraceAttribution answers "where does the p99 go?" with the distributed
+// tracer rather than a model: it runs the TAO mix plus the §4.1
+// function-shipping path on a live 4-server loopback cluster with span
+// sampling at 1, assembles every span tree, and tabulates per-phase
+// latency percentiles for the client and for each server. It also
+// reports how much of each server-side span's wall time the phase
+// timers account for — the tracer is only trustworthy if the phases
+// explain (almost) all of the time they claim to attribute.
+func TraceAttribution(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	const numServers = 4
+	d, err := datasetByName("orkut", opts.BaseBytes)
+	if err != nil {
+		return nil, err
+	}
+	nodeSchema, edgeSchema, err := zipg.DeriveSchemas(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges})
+	if err != nil {
+		return nil, err
+	}
+	c, err := cluster.Launch(d.Nodes, d.Edges, nodeSchema, edgeSchema, cluster.LaunchConfig{
+		NumServers:      numServers,
+		ShardsPerServer: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	client, err := c.Client()
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	wasOn := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(wasOn)
+	prevSampling := telemetry.SetSpanSampling(1)
+	defer telemetry.SetSpanSampling(prevSampling)
+	telemetry.ResetSpans()
+
+	mix := workloads.MixConfig{Mix: workloads.TAOMix, AccessSkew: 0, Seed: 1001}
+	ops := workloads.GenerateOps(d, mix, opts.Ops)
+
+	agg := phaseAgg{durs: map[phaseAggKey][]float64{}}
+	seen := map[telemetry.TraceID]bool{}
+
+	// TAO mix. The Table 2 shims don't thread a context, so each RPC
+	// roots its own trace; harvest new traces right after every op —
+	// the trace table is a 256-entry FIFO, so assembly must not lag.
+	for _, op := range ops {
+		if _, err := workloads.Execute(client, op); err != nil {
+			return nil, fmt.Errorf("bench: trace-attribution: %w", err)
+		}
+		for _, id := range telemetry.RecentTraces(16) {
+			if !seen[id] {
+				seen[id] = true
+				agg.consume(telemetry.AssembleTrace(id))
+			}
+		}
+	}
+
+	// Filtered neighbor queries under an explicit root span: the §4.1
+	// fan-out path whose trace spans the aggregator and every remote
+	// server it ships MatchBatch subqueries to. This is where the
+	// serve-span coverage and multi-server evidence come from.
+	vals := d.Vocab["prop01"]
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("bench: trace-attribution: dataset has no prop01 vocabulary")
+	}
+	nq := opts.Ops / 4
+	if nq < 64 {
+		nq = 64
+	}
+	var (
+		coverages   []float64
+		multiServer int
+		assembled   int
+	)
+	for i := 0; i < nq; i++ {
+		id := ops[i%len(ops)].ID
+		props := map[string]string{"prop01": vals[i%len(vals)]}
+		root, ctx := telemetry.StartSpanCtx(context.Background(), "bench.filtered_neighbors")
+		client.GetNeighborIDsCtx(ctx, id, zipg.WildcardType, props)
+		root.End()
+		tree := telemetry.AssembleTrace(root.Trace)
+		if tree == nil {
+			continue
+		}
+		assembled++
+		seen[root.Trace] = true
+		agg.consume(tree)
+		servers := map[int]bool{}
+		for _, r := range tree.Roots {
+			collectServeStats(r, &coverages, servers)
+		}
+		if len(servers) >= 3 { // aggregator + at least two remote servers
+			multiServer++
+		}
+	}
+
+	r := &Result{
+		Title: fmt.Sprintf("Trace attribution: per-phase latency by server, TAO mix + filtered neighbors (%d-server loopback cluster, %d traces)",
+			numServers, len(seen)),
+		Headers: []string{"where", "phase", "spans", "p50 µs", "p99 µs", "total ms", "share %"},
+	}
+	agg.rows(r)
+
+	covMean, covMin, covOK := summarizeCoverage(coverages)
+	r.Notes = append(r.Notes,
+		"phases: queue (recv→handler), serialize/decode (gob), network (write→reply), logstore (log-pass reads/writes), succinct_walk (compressed-shard walks)",
+		fmt.Sprintf("serve-span phase coverage (own phases + child spans vs span wall time): mean %.1f%%, min %.1f%%, ≥90%% for %.1f%% of %d server-side spans",
+			100*covMean, 100*covMin, 100*covOK, len(coverages)),
+		fmt.Sprintf("%d/%d filtered neighbor traces assembled into one tree spanning the aggregator plus ≥2 remote servers", multiServer, assembled),
+		"network share is measured at the RPC client, so it includes the callee's processing time; the callee's serve span breaks that time down on its own row",
+	)
+	return r, nil
+}
+
+// phaseAggKey buckets phase durations by reporting location and phase
+// name; server -1 is the external client (and the bench roots).
+type phaseAggKey struct {
+	server int
+	phase  string
+}
+
+type phaseAgg struct {
+	durs map[phaseAggKey][]float64 // µs
+}
+
+// consume accumulates every span's own phase timings, attributed to the
+// server the span ran on.
+func (a *phaseAgg) consume(tree *telemetry.TraceTree) {
+	if tree == nil {
+		return
+	}
+	var walk func(n *telemetry.TraceNode)
+	walk = func(n *telemetry.TraceNode) {
+		for _, p := range n.Span.Phases {
+			k := phaseAggKey{server: n.Span.Server, phase: p.Name}
+			a.durs[k] = append(a.durs[k], float64(p.Ns)/1e3)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, root := range tree.Roots {
+		walk(root)
+	}
+}
+
+// phaseOrder fixes the row order within one server: the wire phases in
+// request order, then the storage phases.
+var phaseOrder = map[string]int{
+	"queue": 0, "serialize": 1, "network": 2, "decode": 3,
+	"logstore": 4, "succinct_walk": 5,
+}
+
+// rows emits one table row per (server, phase), client first, phases in
+// taxonomy order, with p50/p99 and each phase's share of all attributed
+// time.
+func (a *phaseAgg) rows(r *Result) {
+	keys := make([]phaseAggKey, 0, len(a.durs))
+	var grand float64
+	for k, ds := range a.durs {
+		keys = append(keys, k)
+		for _, d := range ds {
+			grand += d
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].server != keys[j].server {
+			return keys[i].server < keys[j].server
+		}
+		oi, oj := phaseOrder[keys[i].phase], phaseOrder[keys[j].phase]
+		if oi != oj {
+			return oi < oj
+		}
+		return keys[i].phase < keys[j].phase
+	})
+	for _, k := range keys {
+		ds := a.durs[k]
+		var total float64
+		for _, d := range ds {
+			total += d
+		}
+		where := "client"
+		if k.server >= 0 {
+			where = fmt.Sprintf("server %d", k.server)
+		}
+		r.Rows = append(r.Rows, []string{
+			where, k.phase, fmt.Sprint(len(ds)),
+			fmt.Sprintf("%.1f", pctileF(ds, 0.50)),
+			fmt.Sprintf("%.1f", pctileF(ds, 0.99)),
+			fmt.Sprintf("%.2f", total/1e3),
+			fmt.Sprintf("%.1f", 100*total/grand),
+		})
+	}
+}
+
+// collectServeStats walks a span tree recording, for every server-side
+// rpc.serve span, how much of its wall time is explained by its own
+// phases plus its child spans (which carry their own phases), and which
+// servers the tree touched.
+func collectServeStats(n *telemetry.TraceNode, coverages *[]float64, servers map[int]bool) {
+	if strings.HasPrefix(n.Span.Op, "rpc.serve:") {
+		if n.Span.Server >= 0 {
+			servers[n.Span.Server] = true
+		}
+		if n.Span.Duration > 0 {
+			var attributed time.Duration
+			for _, p := range n.Span.Phases {
+				attributed += time.Duration(p.Ns)
+			}
+			for _, c := range n.Children {
+				attributed += c.Span.Duration
+			}
+			cov := float64(attributed) / float64(n.Span.Duration)
+			if cov > 1 {
+				cov = 1
+			}
+			*coverages = append(*coverages, cov)
+		}
+	}
+	for _, c := range n.Children {
+		collectServeStats(c, coverages, servers)
+	}
+}
+
+// summarizeCoverage reduces per-span coverage ratios to mean, min and
+// the fraction meeting the 90% bar.
+func summarizeCoverage(covs []float64) (mean, min, fracOK float64) {
+	if len(covs) == 0 {
+		return 0, 0, 0
+	}
+	min = 1
+	var sum float64
+	var ok int
+	for _, c := range covs {
+		sum += c
+		if c < min {
+			min = c
+		}
+		if c >= 0.90 {
+			ok++
+		}
+	}
+	return sum / float64(len(covs)), min, float64(ok) / float64(len(covs))
+}
+
+// pctileF returns the q-quantile of xs (nearest-rank on a sorted copy).
+func pctileF(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

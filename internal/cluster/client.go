@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"zipg/internal/graphapi"
 	"zipg/internal/layout"
 	"zipg/internal/rpc"
+	"zipg/internal/telemetry"
 )
 
 // Client is a ZipG cluster client implementing the shared store API.
@@ -65,12 +67,24 @@ func (c *Client) Close() {
 
 // GetNodeProperty implements graphapi.Store.
 func (c *Client) GetNodeProperty(id graphapi.NodeID, propertyIDs []string) ([]string, bool) {
+	return c.GetNodePropertyCtx(context.Background(), id, propertyIDs)
+}
+
+// GetNodePropertyCtx is GetNodeProperty under a trace context: the
+// query becomes a span (a root when ctx is untraced and the sampling
+// period elects it) whose rpc.call child carries the trace to the
+// owner, and ctx's deadline travels on the wire.
+func (c *Client) GetNodePropertyCtx(ctx context.Context, id graphapi.NodeID, propertyIDs []string) ([]string, bool) {
+	sp, ctx := telemetry.StartSpanCtx(ctx, "client.get_node_property")
+	defer sp.End()
 	conn, err := c.owner(id)
 	if err != nil {
+		sp.SetError(err)
 		return nil, false
 	}
 	var reply nodePropsReply
-	if err := conn.Call("NodeProps", nodePropsArgs{ID: id, PIDs: propertyIDs}, &reply); err != nil {
+	if err := conn.CallCtx(ctx, "NodeProps", nodePropsArgs{ID: id, PIDs: propertyIDs}, &reply); err != nil {
+		sp.SetError(err)
 		return nil, false
 	}
 	if !reply.OK {
@@ -93,6 +107,15 @@ func (c *Client) GetNodeProperty(id graphapi.NodeID, propertyIDs []string) ([]st
 // GetNodeIDs implements graphapi.Store: fan out to every server, union
 // client-side (the aggregation of Figure 4's left-most case).
 func (c *Client) GetNodeIDs(props map[string]string) []graphapi.NodeID {
+	return c.GetNodeIDsCtx(context.Background(), props)
+}
+
+// GetNodeIDsCtx is GetNodeIDs under a trace context: one span for the
+// fan-out with a concurrent rpc.call child per server.
+func (c *Client) GetNodeIDsCtx(ctx context.Context, props map[string]string) []graphapi.NodeID {
+	sp, ctx := telemetry.StartSpanCtx(ctx, "client.get_node_ids")
+	defer sp.End()
+	sp.SetFanout(len(c.addrs), 0, len(c.addrs))
 	var mu sync.Mutex
 	var out []graphapi.NodeID
 	var wg sync.WaitGroup
@@ -105,7 +128,7 @@ func (c *Client) GetNodeIDs(props map[string]string) []graphapi.NodeID {
 				return
 			}
 			var reply idsReply
-			if err := conn.Call("FindNodes", propsArgs{Props: props}, &reply); err != nil {
+			if err := conn.CallCtx(ctx, "FindNodes", propsArgs{Props: props}, &reply); err != nil {
 				return
 			}
 			mu.Lock()
@@ -121,12 +144,24 @@ func (c *Client) GetNodeIDs(props map[string]string) []graphapi.NodeID {
 // GetNeighborIDs implements graphapi.Store: one call to the owner, which
 // does the function shipping.
 func (c *Client) GetNeighborIDs(id graphapi.NodeID, etype graphapi.EdgeType, props map[string]string) []graphapi.NodeID {
+	return c.GetNeighborIDsCtx(context.Background(), id, etype, props)
+}
+
+// GetNeighborIDsCtx is GetNeighborIDs under a trace context: the root
+// of the canonical distributed trace — client span → rpc.call to the
+// owner → the owner's serve span → MatchBatch calls fanning out to the
+// neighbors' owners.
+func (c *Client) GetNeighborIDsCtx(ctx context.Context, id graphapi.NodeID, etype graphapi.EdgeType, props map[string]string) []graphapi.NodeID {
+	sp, ctx := telemetry.StartSpanCtx(ctx, "client.get_neighbor_ids")
+	defer sp.End()
 	conn, err := c.owner(id)
 	if err != nil {
+		sp.SetError(err)
 		return nil
 	}
 	var reply idsReply
-	if err := conn.Call("Neighbors", neighborsArgs{ID: id, EType: etype, Props: props}, &reply); err != nil {
+	if err := conn.CallCtx(ctx, "Neighbors", neighborsArgs{ID: id, EType: etype, Props: props}, &reply); err != nil {
+		sp.SetError(err)
 		return nil
 	}
 	return reply.IDs

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -27,15 +28,15 @@ func (s *Server) registerMultiLevel() {
 	// NeighborsBatch expands a frontier of locally-owned nodes one hop
 	// and applies the property filter — itself shipping the checks to
 	// the destination owners (the second level of shipping).
-	s.rpc.Handle("NeighborsBatch", func(blob []byte) (any, error) {
+	s.rpc.Handle("NeighborsBatch", func(ctx context.Context, blob []byte) (any, error) {
 		var a twoHopArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
 		seen := make(map[graphapi.NodeID]bool)
 		var frontier []graphapi.NodeID
 		for _, id := range a.IDs {
-			ids, err := s.neighbors(id, a.EType, a.Props)
+			ids, err := s.neighborsCtx(ctx, id, a.EType, a.Props)
 			if err != nil {
 				return nil, err
 			}

@@ -13,9 +13,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"zipg/internal/graphapi"
 	"zipg/internal/layout"
@@ -173,6 +175,7 @@ func NewServer(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema 
 		return nil, fmt.Errorf("cluster: server %d: %w", cfg.ID, err)
 	}
 	s := &Server{cfg: cfg, store: st, rpc: rpc.NewServer()}
+	s.rpc.SetServerID(cfg.ID) // serve spans report which server they ran on
 	s.registerHandlers()
 	s.registerMultiLevel()
 	return s, nil
@@ -227,58 +230,70 @@ func (s *Server) Close() {
 func (s *Server) Store() *store.Store { return s.store }
 
 func (s *Server) registerHandlers() {
-	s.rpc.Handle("NodeProps", func(blob []byte) (any, error) {
+	s.rpc.Handle("NodeProps", func(ctx context.Context, blob []byte) (any, error) {
 		var a nodePropsArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
-		vals, ok := s.store.GetNodeProps(a.ID, a.PIDs)
+		// The store read becomes a child span with its own fine-grained
+		// logstore/succinct_walk phase split.
+		vals, ok := s.store.GetNodePropsCtx(ctx, a.ID, a.PIDs)
 		return nodePropsReply{Vals: vals, OK: ok}, nil
 	})
-	s.rpc.Handle("MatchBatch", func(blob []byte) (any, error) {
+	s.rpc.Handle("MatchBatch", func(ctx context.Context, blob []byte) (any, error) {
 		var a matchBatchArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
 		// A shipped batch checks many independent nodes; fan the
-		// compressed-shard lookups out over the shared pool.
+		// compressed-shard lookups out over the shared pool. The whole
+		// batch is one succinct_walk phase on the serve span — the span
+		// is never handed to the pool workers, whose overlapping wall
+		// time would otherwise sum past the span's duration, and the
+		// untraced context keeps per-candidate reads from minting their
+		// own root traces.
+		defer telemetry.PhaseFromContext(ctx, "succinct_walk")()
+		ictx := telemetry.UntracedContext(ctx)
 		out := parallel.Map("cluster.match_batch", len(a.IDs), func(i int) bool {
 			id := a.IDs[i]
-			return s.store.HasNode(id) && s.store.NodeMatches(id, a.Props)
+			return s.store.HasNodeCtx(ictx, id) && s.store.NodeMatchesCtx(ictx, id, a.Props)
 		})
 		return out, nil
 	})
-	s.rpc.Handle("FindNodes", func(blob []byte) (any, error) {
+	s.rpc.Handle("FindNodes", func(ctx context.Context, blob []byte) (any, error) {
 		var a propsArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "succinct_walk")()
 		return idsReply{IDs: s.store.FindNodes(a.Props)}, nil
 	})
-	s.rpc.Handle("Neighbors", func(blob []byte) (any, error) {
+	s.rpc.Handle("Neighbors", func(ctx context.Context, blob []byte) (any, error) {
 		var a neighborsArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
-		ids, err := s.neighbors(a.ID, a.EType, a.Props)
+		ids, err := s.neighborsCtx(ctx, a.ID, a.EType, a.Props)
 		return idsReply{IDs: ids}, err
 	})
-	s.rpc.Handle("RecMeta", func(blob []byte) (any, error) {
+	s.rpc.Handle("RecMeta", func(ctx context.Context, blob []byte) (any, error) {
 		var a recArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "succinct_walk")()
 		rec, ok := s.store.GetEdgeRecord(a.ID, a.EType)
 		if !ok {
 			return recMetaReply{}, nil
 		}
 		return recMetaReply{Count: rec.Count(), OK: true}, nil
 	})
-	s.rpc.Handle("RecsMeta", func(blob []byte) (any, error) {
+	s.rpc.Handle("RecsMeta", func(ctx context.Context, blob []byte) (any, error) {
 		var a recArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "succinct_walk")()
 		var reply recsMetaReply
 		for _, rec := range s.store.GetEdgeRecords(a.ID) {
 			reply.Types = append(reply.Types, rec.Type)
@@ -286,11 +301,12 @@ func (s *Server) registerHandlers() {
 		}
 		return reply, nil
 	})
-	s.rpc.Handle("RecRange", func(blob []byte) (any, error) {
+	s.rpc.Handle("RecRange", func(ctx context.Context, blob []byte) (any, error) {
 		var a recRangeArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "succinct_walk")()
 		rec, ok := s.store.GetEdgeRecord(a.ID, a.EType)
 		if !ok {
 			return rangeReply{}, nil
@@ -298,11 +314,12 @@ func (s *Server) registerHandlers() {
 		beg, end := rec.GetEdgeRange(a.Lo, a.Hi)
 		return rangeReply{Beg: beg, End: end}, nil
 	})
-	s.rpc.Handle("RecData", func(blob []byte) (any, error) {
+	s.rpc.Handle("RecData", func(ctx context.Context, blob []byte) (any, error) {
 		var a recDataArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "succinct_walk")()
 		rec, ok := s.store.GetEdgeRecord(a.ID, a.EType)
 		if !ok {
 			return nil, fmt.Errorf("cluster: no record (%d,%d)", a.ID, a.EType)
@@ -313,56 +330,75 @@ func (s *Server) registerHandlers() {
 		}
 		return edgeDataReply{Dst: d.Dst, Ts: d.Timestamp, Props: d.Props}, nil
 	})
-	s.rpc.Handle("RecDsts", func(blob []byte) (any, error) {
+	s.rpc.Handle("RecDsts", func(ctx context.Context, blob []byte) (any, error) {
 		var a recArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "succinct_walk")()
 		rec, ok := s.store.GetEdgeRecord(a.ID, a.EType)
 		if !ok {
 			return idsReply{}, nil
 		}
 		return idsReply{IDs: rec.Destinations()}, nil
 	})
-	s.rpc.Handle("AppendNode", func(blob []byte) (any, error) {
+	s.rpc.Handle("AppendNode", func(ctx context.Context, blob []byte) (any, error) {
 		var a appendNodeArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "logstore")()
 		return true, s.store.AppendNode(a.ID, a.Props)
 	})
-	s.rpc.Handle("AppendEdge", func(blob []byte) (any, error) {
+	s.rpc.Handle("AppendEdge", func(ctx context.Context, blob []byte) (any, error) {
 		var e layout.Edge
-		if err := rpc.DecodeArgs(blob, &e); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &e); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "logstore")()
 		return true, s.store.AppendEdge(e)
 	})
-	s.rpc.Handle("DeleteNode", func(blob []byte) (any, error) {
+	s.rpc.Handle("DeleteNode", func(ctx context.Context, blob []byte) (any, error) {
 		var id graphapi.NodeID
-		if err := rpc.DecodeArgs(blob, &id); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &id); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "logstore")()
 		s.store.DeleteNode(id)
 		return true, nil
 	})
-	s.rpc.Handle("DeleteEdges", func(blob []byte) (any, error) {
+	s.rpc.Handle("DeleteEdges", func(ctx context.Context, blob []byte) (any, error) {
 		var a deleteEdgesArgs
-		if err := rpc.DecodeArgs(blob, &a); err != nil {
+		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
+		defer telemetry.PhaseFromContext(ctx, "logstore")()
 		return s.store.DeleteEdges(a.Src, a.Type, a.Dst), nil
 	})
 }
 
-// neighbors executes get_neighbor_ids at the owner: destinations come
-// from the local edge records; property/liveness checks for remote
+// neighborsCtx executes get_neighbor_ids at the owner: destinations
+// come from the local edge records; property/liveness checks for remote
 // neighbors are shipped in one batch per owning server (Figure 4's
-// "Carol & Dan's cities?" fan-out).
-func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props map[string]string) ([]graphapi.NodeID, error) {
+// "Carol & Dan's cities?" fan-out). ctx carries the caller's trace (the
+// serve span when the query arrived over RPC), so the fan-out's
+// MatchBatch calls become traced children on the remote servers.
+func (s *Server) neighborsCtx(ctx context.Context, id graphapi.NodeID, etype graphapi.EdgeType, props map[string]string) (_ []graphapi.NodeID, retErr error) {
 	mNeighborQueries.Inc()
-	sp := telemetry.StartSpan("cluster.neighbors")
-	defer sp.End()
+	sp, ctx := telemetry.StartSpanCtx(ctx, "cluster.neighbors")
+	sp.SetServer(s.cfg.ID)
+	defer func() {
+		if retErr != nil {
+			sp.SetError(retErr)
+			if sp == nil {
+				telemetry.RecordErrorSpan("cluster.neighbors", time.Time{}, retErr)
+			}
+		}
+		sp.End()
+	}()
+	// Reading the edge records and their destination lists is the local
+	// Ψ-walk part of the query.
+	endWalk := sp.Phase("succinct_walk")
 	var records []*store.EdgeRecord
 	if etype < 0 {
 		records = s.store.GetEdgeRecords(id)
@@ -370,6 +406,7 @@ func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props ma
 		records = []*store.EdgeRecord{rec}
 	}
 	if len(records) == 0 {
+		endWalk()
 		return nil, nil
 	}
 	seen := make(map[graphapi.NodeID]bool)
@@ -382,6 +419,7 @@ func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props ma
 			}
 		}
 	}
+	endWalk()
 	if telemetry.Enabled() {
 		localIDs, remoteIDs, remoteOwners := 0, 0, 0
 		for owner, ids := range perOwner {
@@ -416,8 +454,11 @@ func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props ma
 				errCh <- err
 				return
 			}
+			// CallCtx gives each shipped batch its own rpc.call child
+			// span (safe concurrently — phases land on the child, never
+			// on the shared parent) and re-propagates the deadline.
 			var matches []bool
-			if err := peer.Call("MatchBatch", matchBatchArgs{IDs: ids, Props: props}, &matches); err != nil {
+			if err := peer.CallCtx(ctx, "MatchBatch", matchBatchArgs{IDs: ids, Props: props}, &matches); err != nil {
 				errCh <- err
 				return
 			}
@@ -431,10 +472,16 @@ func (s *Server) neighbors(id graphapi.NodeID, etype graphapi.EdgeType, props ma
 		}(owner, ids)
 	}
 	if local := perOwner[s.cfg.ID]; len(local) > 0 {
+		// One phase for the whole local batch; the span stays out of the
+		// pool workers (their overlapping wall time must not accumulate)
+		// and per-candidate reads run untraced under the batch phase.
+		endLocal := sp.Phase("succinct_walk")
+		ictx := telemetry.UntracedContext(ctx)
 		matches := parallel.Map("cluster.local_subquery", len(local), func(i int) bool {
 			dst := local[i]
-			return s.store.HasNode(dst) && s.store.NodeMatches(dst, props)
+			return s.store.HasNodeCtx(ictx, dst) && s.store.NodeMatchesCtx(ictx, dst, props)
 		})
+		endLocal()
 		mu.Lock()
 		for i, ok := range matches {
 			if ok {

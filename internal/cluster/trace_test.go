@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"zipg/internal/graphapi"
+	"zipg/internal/telemetry"
+)
+
+// traceTestCluster launches a 3-server loopback cluster with telemetry
+// on and every query traced, restoring global telemetry state after.
+func traceTestCluster(t *testing.T) *Client {
+	t.Helper()
+	prevEnabled := telemetry.SetEnabled(true)
+	t.Cleanup(func() { telemetry.SetEnabled(prevEnabled) })
+	prevSampling := telemetry.SetSpanSampling(1)
+	t.Cleanup(func() { telemetry.SetSpanSampling(prevSampling) })
+	nodes, edges, ns, es := testGraph(t, 40, 250)
+	_, client := launchTestCluster(t, nodes, edges, ns, es, 3)
+	return client
+}
+
+// collectSpans flattens an assembled trace tree.
+func collectSpans(n *telemetry.TraceNode, out *[]*telemetry.TraceNode) {
+	*out = append(*out, n)
+	for _, c := range n.Children {
+		collectSpans(c, out)
+	}
+}
+
+// TestTracePropagationAcrossFanOut runs a filtered neighbor query — the
+// Figure 4 function-shipping fan-out — under an explicit trace root and
+// asserts the assembled tree: one trace ID spans the aggregator and at
+// least two remote servers' MatchBatch serve spans, every remote span
+// parents under the rpc.call that shipped it, and each span's phase
+// durations fit inside its own duration.
+func TestTracePropagationAcrossFanOut(t *testing.T) {
+	client := traceTestCluster(t)
+	filter := map[string]string{"city": "Ithaca"}
+
+	// Find a node whose neighbor check fans out to ≥2 remote servers;
+	// with 40 nodes and 250 random edges over 3 servers nearly every
+	// well-connected node qualifies.
+	for id := int64(0); id < 40; id++ {
+		telemetry.ResetSpans()
+		root, ctx := telemetry.StartSpanCtx(context.Background(), "test.query")
+		if root == nil {
+			t.Fatal("sampling=1 must trace the root")
+		}
+		client.GetNeighborIDsCtx(ctx, id, graphapi.WildcardType, filter)
+		root.End()
+
+		tree := telemetry.AssembleTrace(root.Trace)
+		if tree == nil {
+			t.Fatalf("trace %s not assembled", root.Trace)
+		}
+		if len(tree.Roots) != 1 {
+			t.Fatalf("trace %s has %d roots, want 1 (all spans must link up)", root.Trace, len(tree.Roots))
+		}
+		var all []*telemetry.TraceNode
+		collectSpans(tree.Roots[0], &all)
+
+		servers := map[int]bool{}
+		for _, n := range all {
+			if n.Span.Trace != root.Trace {
+				t.Fatalf("span %s carries trace %s, want %s", n.Span.Op, n.Span.Trace, root.Trace)
+			}
+			if pt := n.Span.PhaseTotal(); pt > n.Span.Duration {
+				t.Errorf("span %s: phase total %s exceeds duration %s", n.Span.Op, pt, n.Span.Duration)
+			}
+			if n.Span.Op == "rpc.serve:MatchBatch" {
+				servers[n.Span.Server] = true
+			}
+			for _, c := range n.Children {
+				if c.Span.ParentID != n.Span.SpanID {
+					t.Fatalf("child %s has ParentID %d under %s (SpanID %d)",
+						c.Span.Op, c.Span.ParentID, n.Span.Op, n.Span.SpanID)
+				}
+				if c.Span.Op == "rpc.serve:MatchBatch" && n.Span.Op != "rpc.call:MatchBatch" {
+					t.Fatalf("serve:MatchBatch parented under %s, want rpc.call:MatchBatch", n.Span.Op)
+				}
+			}
+		}
+		if len(servers) >= 2 {
+			return // fan-out crossed ≥2 remote servers under one trace
+		}
+	}
+	t.Fatal("no query fanned out to 2+ remote servers — graph or partitioning changed?")
+}
+
+// TestTracedQueriesConcurrent drives 16 goroutines of traced queries —
+// the -race gate for the span tree, the trace table and the wire header
+// paths — and asserts every trace assembles with a remote serve span.
+func TestTracedQueriesConcurrent(t *testing.T) {
+	client := traceTestCluster(t)
+	telemetry.ResetSpans()
+	filter := map[string]string{"city": "Berkeley"}
+
+	const goroutines = 16
+	const perG = 6
+	ids := make(chan telemetry.TraceID, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				root, ctx := telemetry.StartSpanCtx(context.Background(), "test.concurrent")
+				id := int64((g*perG + i) % 40)
+				client.GetNeighborIDsCtx(ctx, id, graphapi.WildcardType, filter)
+				client.GetNodePropertyCtx(ctx, id, nil)
+				root.End()
+				if root != nil {
+					ids <- root.Trace
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(ids)
+
+	assembled := 0
+	for id := range ids {
+		tree := telemetry.AssembleTrace(id)
+		if tree == nil {
+			t.Fatalf("trace %s missing from table", id)
+		}
+		if len(tree.Roots) != 1 {
+			t.Fatalf("trace %s has %d roots, want 1", id, len(tree.Roots))
+		}
+		var all []*telemetry.TraceNode
+		collectSpans(tree.Roots[0], &all)
+		for _, n := range all {
+			if n.Span.Op == "rpc.serve:Neighbors" || n.Span.Op == "rpc.serve:NodeProps" {
+				assembled++
+				break
+			}
+		}
+	}
+	if assembled != goroutines*perG {
+		t.Errorf("%d/%d traces contain a remote serve span", assembled, goroutines*perG)
+	}
+}

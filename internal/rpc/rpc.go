@@ -3,10 +3,19 @@
 // gob-encoded request/response envelopes. Each connection multiplexes
 // concurrent in-flight calls by request ID, so one aggregator connection
 // per peer suffices for the function-shipping fan-out.
+//
+// The request envelope carries an optional trace header (trace ID,
+// caller span ID, absolute deadline, sampling decision) and responses
+// ship the callee's finished spans back, so a cluster query assembles
+// into one distributed span tree on the aggregator. Old header-less
+// frames interoperate: gob matches envelope fields by name, so a
+// request without trace fields decodes with a zero TraceContext and a
+// response without spans simply attaches none.
 package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -15,6 +24,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zipg/internal/telemetry"
 )
@@ -27,6 +37,15 @@ const maxFrame = 64 << 20
 // length prefix exceeds maxFrame. The error actually returned is a
 // *FrameTooLargeError carrying the offending size.
 var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// ErrDeadlineExceeded is the sentinel matched by errors.Is when a call
+// is rejected because its propagated deadline already passed — on the
+// client before sending, or on the server on arrival.
+var ErrDeadlineExceeded = errors.New("rpc: deadline exceeded")
+
+// deadlineErrMsg is the wire form of a server-side deadline rejection
+// (error strings cross the wire, sentinels do not).
+const deadlineErrMsg = "rpc: deadline exceeded before handler ran"
 
 // FrameTooLargeError reports an oversized frame: the advertised size
 // and the limit it broke. errors.Is(err, ErrFrameTooLarge) matches it.
@@ -60,20 +79,45 @@ var (
 		"Frame bytes moved (header + payload), by direction.")
 	mErrors = telemetry.NewCounterVec("zipg_rpc_errors_total", "kind",
 		"RPC-layer errors, by kind.")
+	mDeadlineExceeded = telemetry.NewCounterVec("zipg_rpc_deadline_exceeded_total", "where",
+		"Calls rejected because the propagated deadline had already passed.")
 )
 
-// request is the wire envelope for calls.
+// request is the wire envelope for calls. TraceHi/TraceLo/SpanID/
+// Deadline/Sampled form the optional trace header; header-less frames
+// from older peers decode with all of them zero, which the server
+// treats as "untraced, no deadline".
 type request struct {
 	ID     uint64
 	Method string
 	Args   []byte
+
+	TraceHi  uint64 // trace ID, high 64 bits (0+0: untraced)
+	TraceLo  uint64 // trace ID, low 64 bits
+	SpanID   uint64 // caller's span — parent of the serve span
+	Deadline int64  // absolute deadline, Unix nanoseconds (0: none)
+	Sampled  bool   // originator's sampling decision
 }
 
-// response is the wire envelope for results.
+// response is the wire envelope for results. Spans carries the callee's
+// finished spans (serve span + its subtree) back to the caller for
+// trace assembly; empty for untraced requests and absent entirely from
+// older peers.
 type response struct {
 	ID     uint64
 	Err    string
 	Result []byte
+	Spans  []telemetry.Span
+}
+
+// traceContext extracts the wire trace header.
+func (r *request) traceContext() telemetry.TraceContext {
+	return telemetry.TraceContext{
+		Trace:    telemetry.TraceID{Hi: r.TraceHi, Lo: r.TraceLo},
+		SpanID:   r.SpanID,
+		Deadline: r.Deadline,
+		Sampled:  r.Sampled,
+	}
 }
 
 // writeFrame sends one length-prefixed gob blob.
@@ -113,8 +157,9 @@ func readFrame(r io.Reader, v any) error {
 }
 
 // Handler serves one method: decode args from the blob, return a result
-// to encode.
-type Handler func(args []byte) (any, error)
+// to encode. ctx carries the caller's trace (the active span for
+// StartSpanCtx / PhaseFromContext) and its propagated deadline.
+type Handler func(ctx context.Context, args []byte) (any, error)
 
 // Server dispatches framed requests to registered handlers.
 type Server struct {
@@ -124,12 +169,19 @@ type Server struct {
 	ln       net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+	serverID atomic.Int64
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]bool)}
+	s := &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]bool)}
+	s.serverID.Store(-1)
+	return s
 }
+
+// SetServerID records the cluster server ID stamped on serve spans
+// (-1, the default, means unknown).
+func (s *Server) SetServerID(id int) { s.serverID.Store(int64(id)) }
 
 // Handle registers a method. Must be called before Serve.
 func (s *Server) Handle(method string, h Handler) {
@@ -189,9 +241,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		s.mu.RLock()
-		h := s.handlers[req.Method]
-		s.mu.RUnlock()
+		received := time.Now()
 		// Serve each request concurrently: aggregator fan-outs depend on
 		// it (a server may call back into its own peers mid-request).
 		s.wg.Add(1)
@@ -201,22 +251,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer mInflight.Dec()
 			mCalls.With(req.Method).Inc()
 			tm := telemetry.StartTimer()
-			resp := response{ID: req.ID}
-			if h == nil {
-				resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
-				mErrors.With("unknown_method").Inc()
-			} else if result, err := h(req.Args); err != nil {
-				resp.Err = err.Error()
-				mErrors.With("handler").Inc()
-			} else {
-				var buf bytes.Buffer
-				if err := gob.NewEncoder(&buf).Encode(result); err != nil {
-					resp.Err = fmt.Sprintf("rpc: encode result: %v", err)
-					mErrors.With("encode").Inc()
-				} else {
-					resp.Result = buf.Bytes()
-				}
-			}
+			resp := s.serveRequest(req, received)
 			tm.ObserveInto(mLatency.With(req.Method))
 			writeMu.Lock()
 			err := writeFrame(conn, &resp)
@@ -226,6 +261,99 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}(req)
 	}
+}
+
+// serveRequest runs one request through deadline admission, the serve
+// span, and the handler, producing the response envelope. The response
+// frame's own write cost is excluded — the wire time is attributed to
+// the caller's network phase.
+func (s *Server) serveRequest(req request, received time.Time) response {
+	resp := response{ID: req.ID}
+	tc := req.traceContext()
+	op := "rpc.serve:" + req.Method
+
+	// Propagated-deadline admission: work whose budget is already spent
+	// on arrival is rejected before the handler runs — the first
+	// concrete consumer of the trace context beyond tracing itself.
+	if req.Deadline > 0 && !received.Before(time.Unix(0, req.Deadline)) {
+		mDeadlineExceeded.With("server").Inc()
+		mErrors.With("deadline").Inc()
+		resp.Err = deadlineErrMsg
+		if sp := telemetry.StartRemoteSpan(tc, op, int(s.serverID.Load())); sp != nil {
+			sp.Start = received
+			sp.SetError(ErrDeadlineExceeded)
+			sp.End()
+			resp.Spans = sp.Flatten()
+		} else {
+			telemetry.RecordErrorSpan(op, received, ErrDeadlineExceeded)
+		}
+		return resp
+	}
+
+	// A non-zero trace ID means the caller made the sampling decision;
+	// it rides the context even when unsampled, so downstream
+	// StartSpanCtx calls honor it instead of re-sampling. A zero trace
+	// ID means the caller is trace-unaware (legacy frame, or telemetry
+	// off client-side) — then the server samples locally, so the
+	// flight recorder still sees 1-in-N of such traffic. The deadline
+	// is independent of tracing and always re-ships downstream.
+	ctx := context.Background()
+	var sp *telemetry.Span
+	if tc.Trace.IsZero() {
+		sp = telemetry.StartServerRootSpan(op, int(s.serverID.Load()))
+	} else {
+		ctx = telemetry.ContextWithRemoteTrace(ctx, tc)
+		sp = telemetry.StartRemoteSpan(tc, op, int(s.serverID.Load()))
+	}
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+		defer cancel()
+	}
+	if sp != nil {
+		// Rebase the span to frame receipt so the queue phase (waiting
+		// for a goroutine + admission) lies inside [Start, End].
+		sp.Start = received
+		ctx = telemetry.ContextWithSpan(ctx, sp)
+	}
+
+	s.mu.RLock()
+	h := s.handlers[req.Method]
+	s.mu.RUnlock()
+	// Everything up to the handler running — goroutine handoff,
+	// admission, span setup, the handler lookup — is queue time.
+	sp.AddPhase("queue", time.Since(received))
+	if h == nil {
+		resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
+		mErrors.With("unknown_method").Inc()
+		sp.SetError(errors.New(resp.Err))
+	} else if result, err := h(ctx, req.Args); err != nil {
+		resp.Err = err.Error()
+		mErrors.With("handler").Inc()
+		sp.SetError(err)
+		if sp == nil {
+			telemetry.RecordErrorSpan(op, received, err)
+		}
+	} else {
+		endSer := sp.Phase("serialize")
+		var buf bytes.Buffer
+		err := gob.NewEncoder(&buf).Encode(result)
+		endSer()
+		if err != nil {
+			resp.Err = fmt.Sprintf("rpc: encode result: %v", err)
+			mErrors.With("encode").Inc()
+			sp.SetError(err)
+		} else {
+			resp.Result = buf.Bytes()
+		}
+	}
+	if sp != nil {
+		// End before shipping: Flatten copies the span with its final
+		// duration, and End records it into this server's local table.
+		sp.End()
+		resp.Spans = sp.Flatten()
+	}
+	return resp
 }
 
 // Close stops the server, closes open connections (unblocking their
@@ -296,40 +424,94 @@ func (c *Client) readLoop() {
 }
 
 // Call invokes method with args, decoding the result into reply (which
-// must be a pointer, or nil to discard).
+// must be a pointer, or nil to discard). Untraced unless the process's
+// local sampling period elects the call as a fresh trace root.
 func (c *Client) Call(method string, args any, reply any) error {
+	return c.CallCtx(context.Background(), method, args, reply)
+}
+
+// CallCtx invokes method with args under ctx: the active span (if any)
+// gains an "rpc.call:<method>" child whose identity and the context's
+// deadline travel in the frame's trace header, and the callee's spans
+// attach to it on return. The call-side phases — serialize (args
+// encode), network (write through response receipt), decode (reply
+// decode) — attribute where the caller's time went.
+func (c *Client) CallCtx(ctx context.Context, method string, args any, reply any) (err error) {
 	mClientCalls.With(method).Inc()
-	var argBuf bytes.Buffer
-	if err := gob.NewEncoder(&argBuf).Encode(args); err != nil {
-		return fmt.Errorf("rpc: encode args: %w", err)
+	op := "rpc.call:" + method
+	start := time.Now()
+
+	// Don't send work the callee must reject: a spent deadline fails
+	// here, one network round-trip cheaper than the server-side check.
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok && !start.Before(dl) {
+			mDeadlineExceeded.With("client").Inc()
+			err := fmt.Errorf("%w (before send of %s)", ErrDeadlineExceeded, method)
+			telemetry.RecordErrorSpan(op, start, err)
+			return err
+		}
 	}
+
+	sp, ctx := telemetry.StartSpanCtx(ctx, op)
+	defer func() {
+		if err != nil {
+			sp.SetError(err)
+			if sp == nil {
+				telemetry.RecordErrorSpan(op, start, err)
+			}
+		}
+		sp.End()
+	}()
+
+	endSer := sp.Phase("serialize")
+	var argBuf bytes.Buffer
+	encErr := gob.NewEncoder(&argBuf).Encode(args)
+	endSer()
+	if encErr != nil {
+		return fmt.Errorf("rpc: encode args: %w", encErr)
+	}
+	tc := telemetry.OutgoingTrace(ctx, sp)
 	id := c.nextID.Add(1)
 	ch := make(chan response, 1)
 	c.mu.Lock()
 	if c.err != nil {
-		err := c.err
+		cerr := c.err
 		c.mu.Unlock()
-		return fmt.Errorf("rpc: connection lost: %w", err)
+		return fmt.Errorf("rpc: connection lost: %w", cerr)
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	endNet := sp.Phase("network")
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, &request{ID: id, Method: method, Args: argBuf.Bytes()})
+	werr := writeFrame(c.conn, &request{
+		ID: id, Method: method, Args: argBuf.Bytes(),
+		TraceHi: tc.Trace.Hi, TraceLo: tc.Trace.Lo,
+		SpanID: tc.SpanID, Deadline: tc.Deadline, Sampled: tc.Sampled,
+	})
 	c.writeMu.Unlock()
-	if err != nil {
+	if werr != nil {
+		endNet()
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return fmt.Errorf("rpc: send: %w", err)
+		return fmt.Errorf("rpc: send: %w", werr)
 	}
 	resp := <-ch
+	endNet()
+	sp.AddRemoteSpans(resp.Spans)
 	if resp.Err != "" {
+		if resp.Err == deadlineErrMsg {
+			return fmt.Errorf("%w (server rejected %s on arrival)", ErrDeadlineExceeded, method)
+		}
 		return errors.New(resp.Err)
 	}
 	if reply != nil {
-		if err := gob.NewDecoder(bytes.NewReader(resp.Result)).Decode(reply); err != nil {
-			return fmt.Errorf("rpc: decode reply: %w", err)
+		endDec := sp.Phase("decode")
+		derr := gob.NewDecoder(bytes.NewReader(resp.Result)).Decode(reply)
+		endDec()
+		if derr != nil {
+			return fmt.Errorf("rpc: decode reply: %w", derr)
 		}
 	}
 	return nil
@@ -340,5 +522,12 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // DecodeArgs is a helper for handlers.
 func DecodeArgs(blob []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(blob)).Decode(v)
+}
+
+// DecodeArgsCtx decodes handler args while attributing the time to the
+// active span's decode phase.
+func DecodeArgsCtx(ctx context.Context, blob []byte, v any) error {
+	defer telemetry.PhaseFromContext(ctx, "decode")()
 	return gob.NewDecoder(bytes.NewReader(blob)).Decode(v)
 }

@@ -2,10 +2,13 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -21,14 +24,14 @@ type echoArgs struct {
 func startEcho(t testing.TB) (*Server, string) {
 	t.Helper()
 	s := NewServer()
-	s.Handle("echo", func(blob []byte) (any, error) {
+	s.Handle("echo", func(ctx context.Context, blob []byte) (any, error) {
 		var a echoArgs
-		if err := DecodeArgs(blob, &a); err != nil {
+		if err := DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
 		return fmt.Sprintf("%s/%d", a.Msg, a.N), nil
 	})
-	s.Handle("fail", func(blob []byte) (any, error) {
+	s.Handle("fail", func(ctx context.Context, blob []byte) (any, error) {
 		return nil, errors.New("deliberate failure")
 	})
 	addr, err := s.Listen("127.0.0.1:0")
@@ -189,6 +192,245 @@ func TestFrameTooLargeClientPath(t *testing.T) {
 	})
 	if err := c.Call("echo", echoArgs{}, nil); err == nil {
 		t.Error("Call on poisoned connection should fail")
+	}
+}
+
+// legacyRequest is the pre-trace-header wire envelope, re-declared here
+// exactly as an old peer would encode it.
+type legacyRequest struct {
+	ID     uint64
+	Method string
+	Args   []byte
+}
+
+// legacyResponse is the pre-span-shipping response envelope.
+type legacyResponse struct {
+	ID     uint64
+	Err    string
+	Result []byte
+}
+
+// TestLegacyFramesInteroperate proves mixed-version compatibility both
+// ways: a header-less request from an old client is served normally
+// (zero TraceContext, no deadline), and the new server's response —
+// which may carry a Spans field — still decodes into the old response
+// shape, gob dropping the unknown field.
+func TestLegacyFramesInteroperate(t *testing.T) {
+	_, addr := startEcho(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var args bytes.Buffer
+	if err := gob.NewEncoder(&args).Encode(echoArgs{"old", 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, &legacyRequest{ID: 42, Method: "echo", Args: args.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	var resp legacyResponse
+	if err := readFrame(conn, &resp); err != nil {
+		t.Fatalf("old client cannot decode new response: %v", err)
+	}
+	if resp.ID != 42 || resp.Err != "" {
+		t.Fatalf("legacy response = %+v", resp)
+	}
+	var reply string
+	if err := gob.NewDecoder(bytes.NewReader(resp.Result)).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply != "old/3" {
+		t.Fatalf("reply = %q, want old/3", reply)
+	}
+}
+
+// TestUntracedClientStillSampledServerSide proves a request without a
+// trace header (trace-unaware or telemetry-off client) does not
+// suppress server-side sampling: the server makes its own decision and
+// records a local root serve span, so /debug/trace and /debug/traces
+// keep seeing legacy traffic.
+func TestUntracedClientStillSampledServerSide(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	prevSampling := telemetry.SetSpanSampling(1)
+	defer telemetry.SetSpanSampling(prevSampling)
+	telemetry.ResetSpans()
+
+	srv, addr := startEcho(t)
+	srv.SetServerID(3)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var args bytes.Buffer
+	if err := gob.NewEncoder(&args).Encode(echoArgs{"legacy", 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, &legacyRequest{ID: 1, Method: "echo", Args: args.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	var resp legacyResponse
+	if err := readFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("unexpected error %q", resp.Err)
+	}
+
+	ids := telemetry.RecentTraces(1)
+	if len(ids) != 1 {
+		t.Fatalf("no trace recorded for untraced client request")
+	}
+	tree := telemetry.AssembleTrace(ids[0])
+	if tree == nil || len(tree.Roots) != 1 {
+		t.Fatalf("trace %v did not assemble to one root", ids[0])
+	}
+	root := tree.Roots[0].Span
+	if root.Op != "rpc.serve:echo" || root.ParentID != 0 || root.Server != 3 {
+		t.Fatalf("server-local root = %+v", root)
+	}
+}
+
+// TestDeadlineRejectedOnArrival writes a raw frame whose propagated
+// deadline already passed: the server must refuse to run the handler
+// and count the rejection.
+func TestDeadlineRejectedOnArrival(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	_, addr := startEcho(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	before := mDeadlineExceeded.With("server").Value()
+	var args bytes.Buffer
+	if err := gob.NewEncoder(&args).Encode(echoArgs{"late", 1}); err != nil {
+		t.Fatal(err)
+	}
+	req := request{
+		ID: 7, Method: "echo", Args: args.Bytes(),
+		Deadline: time.Now().Add(-time.Second).UnixNano(),
+	}
+	if err := writeFrame(conn, &req); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := readFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != deadlineErrMsg {
+		t.Fatalf("resp.Err = %q, want deadline rejection", resp.Err)
+	}
+	if got := mDeadlineExceeded.With("server").Value(); got != before+1 {
+		t.Errorf("server deadline counter = %d, want %d", got, before+1)
+	}
+}
+
+// TestDeadlineRejectedBeforeSend verifies the client-side short-circuit:
+// an expired context fails without a network round trip.
+func TestDeadlineRejectedBeforeSend(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	_, addr := startEcho(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before := mDeadlineExceeded.With("client").Value()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	err = c.CallCtx(ctx, "echo", echoArgs{"never", 0}, nil)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if got := mDeadlineExceeded.With("client").Value(); got != before+1 {
+		t.Errorf("client deadline counter = %d, want %d", got, before+1)
+	}
+}
+
+// TestTraceRoundTrip runs a traced call end to end over TCP and asserts
+// the assembled tree: caller root → rpc.call:echo → rpc.serve:echo, all
+// under one trace ID, the serve span carrying the server's ID and
+// phases that fit inside its duration.
+func TestTraceRoundTrip(t *testing.T) {
+	prevEnabled := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prevEnabled)
+	prevSampling := telemetry.SetSpanSampling(1)
+	defer telemetry.SetSpanSampling(prevSampling)
+	telemetry.ResetSpans()
+
+	s, addr := startEcho(t)
+	s.SetServerID(5)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	root, ctx := telemetry.StartSpanCtx(context.Background(), "test.root")
+	if root == nil {
+		t.Fatal("sampling=1 must trace the root")
+	}
+	var reply string
+	if err := c.CallCtx(ctx, "echo", echoArgs{"traced", 9}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tree := telemetry.AssembleTrace(root.Trace)
+	if tree == nil || len(tree.Roots) != 1 {
+		t.Fatalf("assembled tree = %+v, want one root", tree)
+	}
+	r := tree.Roots[0]
+	if r.Span.Op != "test.root" || len(r.Children) != 1 {
+		t.Fatalf("root = %s with %d children, want test.root with 1", r.Span.Op, len(r.Children))
+	}
+	call := r.Children[0]
+	if call.Span.Op != "rpc.call:echo" || len(call.Children) != 1 {
+		t.Fatalf("call node = %s with %d children", call.Span.Op, len(call.Children))
+	}
+	serve := call.Children[0]
+	if serve.Span.Op != "rpc.serve:echo" {
+		t.Fatalf("serve node = %s", serve.Span.Op)
+	}
+	if serve.Span.Server != 5 {
+		t.Errorf("serve span server = %d, want 5", serve.Span.Server)
+	}
+	for _, n := range []*telemetry.TraceNode{r, call, serve} {
+		if n.Span.Trace != root.Trace {
+			t.Errorf("%s trace = %s, want %s", n.Span.Op, n.Span.Trace, root.Trace)
+		}
+		if pt := n.Span.PhaseTotal(); pt > n.Span.Duration {
+			t.Errorf("%s phase total %s exceeds duration %s", n.Span.Op, pt, n.Span.Duration)
+		}
+	}
+}
+
+// TestDeadlineMetricName locks the wire-facing metric name into the
+// exposition so a rename fails CI. (The zipg_trace_* names are locked
+// in the telemetry package's own tests; this one lives here because the
+// counter is registered by the rpc package.)
+func TestDeadlineMetricName(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	mDeadlineExceeded.With("server").Add(0)
+	mDeadlineExceeded.With("client").Add(0)
+	expo := telemetry.Default.Expose()
+	for _, want := range []string{
+		`zipg_rpc_deadline_exceeded_total{where="server"}`,
+		`zipg_rpc_deadline_exceeded_total{where="client"}`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %s", want)
+		}
 	}
 }
 

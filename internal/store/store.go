@@ -9,6 +9,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -345,6 +346,15 @@ func (s *Store) nodeGensLocked(id layout.NodeID) []int {
 // consults only the fragments the node's update pointers name — the
 // fanned-updates read path.
 func (s *Store) GetNodeProps(id layout.NodeID, propertyIDs []string) ([]string, bool) {
+	return s.GetNodePropsCtx(context.Background(), id, propertyIDs)
+}
+
+// GetNodePropsCtx is GetNodeProps under a trace context: when ctx
+// carries an active span (a cluster serve span, say), the read becomes
+// a child span in that trace with its time attributed to the logstore
+// and succinct_walk phases; otherwise it behaves exactly like
+// GetNodeProps (local sampling decision).
+func (s *Store) GetNodePropsCtx(ctx context.Context, id layout.NodeID, propertyIDs []string) ([]string, bool) {
 	// The disabled path stays free of timers, spans and counter loads —
 	// one atomic flag read is the whole overhead.
 	if !telemetry.Enabled() {
@@ -354,7 +364,7 @@ func (s *Store) GetNodeProps(id layout.NodeID, propertyIDs []string) ([]string, 
 	// per op would dominate the instrumentation budget on a ~µs read,
 	// and sampled observations give the same p50/p95/p99. Counters and
 	// the fragments histogram still see every operation.
-	sp := telemetry.StartSpan("store.get_node_props")
+	sp, _ := telemetry.StartSpanCtx(ctx, "store.get_node_props")
 	var tm telemetry.Timer
 	if sp != nil {
 		tm = telemetry.StartTimer()
@@ -383,7 +393,10 @@ func (s *Store) getNodeProps(id layout.NodeID, propertyIDs []string, sp *telemet
 	for _, g := range gens {
 		if g == len(frozen) {
 			consulted++
-			if props, ok := log.NodeProps(id); ok {
+			endLog := sp.Phase("logstore")
+			props, ok := log.NodeProps(id)
+			endLog()
+			if ok {
 				sp.MarkLogStore()
 				observeFragments(sp, consulted)
 				return propsToValues(props, propertyIDs, s.nodeSchema), true
@@ -394,7 +407,10 @@ func (s *Store) getNodeProps(id layout.NodeID, propertyIDs []string, sp *telemet
 			continue
 		}
 		consulted++
-		if vals, ok := frozen[g].Nodes().GetProperties(id, propertyIDs); ok {
+		endWalk := sp.Phase("succinct_walk")
+		vals, ok := frozen[g].Nodes().GetProperties(id, propertyIDs)
+		endWalk()
+		if ok {
 			sp.MarkNodeFile()
 			sp.AddShard(g)
 			recordSuccinctRead(sp, vals)
@@ -403,7 +419,9 @@ func (s *Store) getNodeProps(id layout.NodeID, propertyIDs []string, sp *telemet
 		}
 	}
 	p := s.partitionOf(id)
+	endWalk := sp.Phase("succinct_walk")
 	vals, ok := s.primaries[p].Nodes().GetProperties(id, propertyIDs)
+	endWalk()
 	if ok {
 		sp.MarkNodeFile()
 		sp.AddShard(p)
@@ -473,6 +491,12 @@ var pidScratch = sync.Pool{New: func() any { return new([]string) }}
 // NodeMatches reports whether node id currently has every given
 // property value (resolving the newest version of the node).
 func (s *Store) NodeMatches(id layout.NodeID, props map[string]string) bool {
+	return s.NodeMatchesCtx(context.Background(), id, props)
+}
+
+// NodeMatchesCtx is NodeMatches under a trace context (see
+// GetNodePropsCtx).
+func (s *Store) NodeMatchesCtx(ctx context.Context, id layout.NodeID, props map[string]string) bool {
 	if len(props) == 0 {
 		return true
 	}
@@ -483,7 +507,7 @@ func (s *Store) NodeMatches(id layout.NodeID, props map[string]string) bool {
 	}
 	*sp = pids
 	defer pidScratch.Put(sp)
-	vals, ok := s.GetNodeProps(id, pids)
+	vals, ok := s.GetNodePropsCtx(ctx, id, pids)
 	if !ok {
 		return false
 	}
@@ -562,6 +586,12 @@ func (s *Store) FindNodes(props map[string]string) []layout.NodeID {
 // HasNode reports whether a live property record exists for id.
 func (s *Store) HasNode(id layout.NodeID) bool {
 	_, ok := s.GetNodeProps(id, []string{})
+	return ok
+}
+
+// HasNodeCtx is HasNode under a trace context (see GetNodePropsCtx).
+func (s *Store) HasNodeCtx(ctx context.Context, id layout.NodeID) bool {
+	_, ok := s.GetNodePropsCtx(ctx, id, []string{})
 	return ok
 }
 

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -21,9 +22,11 @@ var publishOnce sync.Once
 //
 //	/metrics       Prometheus text exposition of the default registry
 //	/healthz       JSON liveness probe
-//	/debug/vars    expvar JSON (includes zipg metrics + recent spans)
-//	/debug/traces  recent query spans, one per line (?n=50)
-//	/debug/pprof/  the standard net/http/pprof profiles
+//	/debug/vars       expvar JSON (includes zipg metrics + recent spans)
+//	/debug/traces     recent query spans, one per line (?n=50)
+//	/debug/trace/{id} one assembled distributed span tree, JSON
+//	/debug/slow       slow-query ring, failures first (text)
+//	/debug/pprof/     the standard net/http/pprof profiles
 func AdminHandler() http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("zipg_metrics", expvar.Func(func() any {
@@ -59,6 +62,42 @@ func AdminHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		for _, sp := range RecentSpans(n) {
+			fmt.Fprintln(w, sp.String())
+		}
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		raw := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+		if raw == "" {
+			// No ID: list recent trace IDs, newest first, as JSON.
+			w.Header().Set("Content-Type", "application/json")
+			ids := RecentTraces(50)
+			out := make([]string, len(ids))
+			for i := range ids {
+				out[i] = ids[i].String()
+			}
+			json.NewEncoder(w).Encode(out)
+			return
+		}
+		id, err := ParseTraceID(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		tree := AssembleTrace(id)
+		if tree == nil {
+			http.Error(w, "trace not found (evicted or never sampled)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tree)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "# slow-query ring (threshold %s), failures first\n",
+			time.Duration(slowThresholdNs.Load()))
+		for _, sp := range SlowSpans() {
 			fmt.Fprintln(w, sp.String())
 		}
 	})

@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -78,4 +80,82 @@ func TestAdminEndpoints(t *testing.T) {
 	if code != 200 {
 		t.Errorf("/debug/pprof/ status %d", code)
 	}
+}
+
+// TestTraceEndpoints serves a recorded trace over the admin mux and
+// checks /debug/trace/{id} round-trips the assembled span tree as JSON
+// and /debug/slow surfaces failed spans.
+func TestTraceEndpoints(t *testing.T) {
+	withEnabled(t, func() {
+		prev := SetSpanSampling(1)
+		defer SetSpanSampling(prev)
+		ResetSpans()
+
+		root, ctx := StartSpanCtx(context.Background(), "t.http_root")
+		child, _ := StartSpanCtx(ctx, "t.http_child")
+		child.AddPhase("succinct_walk", time.Millisecond)
+		child.End()
+		root.End()
+		RecordErrorSpan("t.http_failed", time.Now(), errTest)
+
+		srv, err := ServeAdmin("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		base := "http://" + srv.Addr
+
+		// Listing: recent trace IDs as hex strings.
+		code, body := get(t, base+"/debug/trace/")
+		if code != 200 {
+			t.Fatalf("/debug/trace/ status %d", code)
+		}
+		var ids []string
+		if err := json.Unmarshal([]byte(body), &ids); err != nil {
+			t.Fatalf("trace listing decode: %v (%q)", err, body)
+		}
+		found := false
+		for _, id := range ids {
+			if id == root.Trace.String() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trace listing %v missing %s", ids, root.Trace)
+		}
+
+		// One assembled tree.
+		code, body = get(t, base+"/debug/trace/"+root.Trace.String())
+		if code != 200 {
+			t.Fatalf("/debug/trace/{id} status %d: %s", code, body)
+		}
+		var tree TraceTree
+		if err := json.Unmarshal([]byte(body), &tree); err != nil {
+			t.Fatalf("tree decode: %v", err)
+		}
+		if tree.TraceID != root.Trace || tree.SpanCount != 2 || len(tree.Roots) != 1 {
+			t.Fatalf("tree = %+v", tree)
+		}
+		n := tree.Roots[0]
+		if n.Span.Op != "t.http_root" || len(n.Children) != 1 || n.Children[0].Span.Op != "t.http_child" {
+			t.Fatalf("tree shape = %+v", tree)
+		}
+		if ph := n.Children[0].Span.Phases; len(ph) != 1 || ph[0].Name != "succinct_walk" {
+			t.Fatalf("child phases = %+v", ph)
+		}
+
+		// Unknown and malformed IDs.
+		if code, _ := get(t, base+"/debug/trace/"+TraceID{Hi: 1, Lo: 2}.String()); code != http.StatusNotFound {
+			t.Errorf("unknown trace returned %d, want 404", code)
+		}
+		if code, _ := get(t, base+"/debug/trace/nothex"); code != http.StatusBadRequest {
+			t.Errorf("malformed trace ID returned %d, want 400", code)
+		}
+
+		// Slow ring: the failure surfaces.
+		code, body = get(t, base+"/debug/slow")
+		if code != 200 || !strings.Contains(body, "t.http_failed") {
+			t.Errorf("/debug/slow status %d missing failed span:\n%s", code, body)
+		}
+	})
 }

@@ -8,20 +8,30 @@ import (
 	"time"
 )
 
-// Span is one query's trace: which operation ran, which fragments it
+// Span is one operation's trace node: which operation ran, where it sits
+// in the distributed span tree (trace ID, parent link, reporting
+// server), how its time divides across named phases, which fragments it
 // touched, whether it was served from the LogStore or from compressed
 // NodeFile/EdgeFile data, how far it fanned out over RPC, and how many
-// bytes it extracted from Succinct-compressed storage. Spans are
-// recorded into a fixed-size ring readable from /debug/vars (and
-// RecentSpans) — a flight recorder, not a full trace store.
+// bytes it extracted from Succinct-compressed storage.
+//
+// Finished spans land in three places: the fixed-size flight-recorder
+// ring (RecentSpans, /debug/traces), the bounded per-trace table that
+// the assembler stitches into trees (/debug/trace/{id}), and — for
+// slow or failed operations — the slow-query ring (/debug/slow).
 //
 // All methods are nil-safe: StartSpan returns nil while telemetry is
 // disabled and every mutator no-ops on a nil receiver, so call sites
 // need no guards.
 type Span struct {
 	Op       string        // operation, e.g. "store.get_node_props"
+	Trace    TraceID       // 128-bit trace this span belongs to (zero: untraced error capture)
+	SpanID   uint64        // this span's ID within the trace
+	ParentID uint64        // parent span's ID (0: root)
+	Server   int           // reporting server's cluster ID (-1: unknown/client)
 	Start    time.Time     // wall-clock start
 	Duration time.Duration // set by End
+	Phases   []Phase       // named wall-time segments (queue, network, succinct_walk, ...)
 	Shards   []int         // shard/fragment IDs consulted, in order
 	LogStore bool          // served (at least partly) from the LogStore
 	NodeFile bool          // touched compressed NodeFile data
@@ -31,13 +41,34 @@ type Span struct {
 	Remote   int           // subqueries shipped over RPC
 	Bytes    int64         // bytes extracted from Succinct storage
 	Err      string        // non-empty if the operation failed
+
+	sampled      bool    // chosen by the sampling period (or a propagated decision)
+	remoteParent bool    // parent span lives on another server (this is a local root)
+	children     []*Span // local child spans, guarded by treeMu
+	remote       []Span  // finished spans shipped back from remote servers, guarded by treeMu
 }
 
+// Phase is one named wall-time segment of a span. The taxonomy used by
+// the query path: queue, serialize, network, decode, logstore,
+// succinct_walk. Repeated segments with the same name accumulate.
+type Phase struct {
+	Name string
+	Ns   int64
+}
+
+// treeMu guards span-tree mutation (Phases, children, remote) — these
+// are touched only on sampled or failing operations, far off the
+// untraced hot path, so one package-level mutex is cheaper than a
+// per-span lock (which would also make Span unsafe to copy into the
+// rings).
+var treeMu sync.Mutex
+
 // DefaultSpanSampling is the flight recorder's default sampling period:
-// one span is recorded per this many eligible queries. Counters and
+// one trace is recorded per this many eligible queries. Counters and
 // histograms always see every operation; only trace recording samples,
 // which keeps the span machinery (allocation + ring push) off the read
-// hot path. SetSpanSampling(1) traces everything.
+// hot path. SetSpanSampling(1) traces everything. Failing operations
+// are exempt: error spans are recorded regardless of the period.
 const DefaultSpanSampling = 64
 
 var (
@@ -56,17 +87,134 @@ func SetSpanSampling(every int) int {
 	return int(spanSampleEvery.Swap(int64(every)))
 }
 
-// StartSpan begins a span, or returns nil while telemetry is disabled
-// or this query fell outside the sampling period. All Span methods are
-// nil-safe, so call sites never need to check.
+// sampleTick reports whether the next eligible query falls inside the
+// sampling period.
+func sampleTick() bool {
+	every := spanSampleEvery.Load()
+	return every <= 1 || spanTick.Add(1)%every == 1
+}
+
+// StartSpan begins a root span, or returns nil while telemetry is
+// disabled or this query fell outside the sampling period. All Span
+// methods are nil-safe, so call sites never need to check. Sampled
+// roots mint a fresh 128-bit trace ID; see StartSpanCtx for spans that
+// join an existing trace.
 func StartSpan(op string) *Span {
-	if !enabled.Load() {
+	if !enabled.Load() || !sampleTick() {
 		return nil
 	}
-	if every := spanSampleEvery.Load(); every > 1 && spanTick.Add(1)%every != 1 {
+	return newRootSpan(op)
+}
+
+func newRootSpan(op string) *Span {
+	return &Span{
+		Op:      op,
+		Trace:   newTraceID(),
+		SpanID:  newSpanID(),
+		Server:  -1,
+		Start:   time.Now(),
+		sampled: true,
+	}
+}
+
+// RecordErrorSpan force-records a failed operation that fell outside
+// the sampling period, so the flight recorder and /debug/slow never
+// miss a failure. start may be zero when the caller did not time the
+// operation (the span then records a zero duration).
+func RecordErrorSpan(op string, start time.Time, err error) {
+	if err == nil || !enabled.Load() {
+		return
+	}
+	sp := &Span{Op: op, Server: -1, Start: start}
+	if start.IsZero() {
+		sp.Start = time.Now()
+	}
+	sp.Err = err.Error()
+	sp.End()
+}
+
+// Phase begins timing a named phase and returns the function that ends
+// it — the `defer sp.Phase("succinct_walk")()` pattern. On a nil span
+// it returns a shared no-op, so untraced queries pay one nil check.
+func (sp *Span) Phase(name string) func() {
+	if sp == nil {
+		return noopPhase
+	}
+	start := time.Now()
+	return func() { sp.AddPhase(name, time.Since(start)) }
+}
+
+var noopPhase = func() {}
+
+// AddPhase accumulates a measured duration into the named phase.
+func (sp *Span) AddPhase(name string, d time.Duration) {
+	if sp == nil || d < 0 {
+		return
+	}
+	treeMu.Lock()
+	defer treeMu.Unlock()
+	for i := range sp.Phases {
+		if sp.Phases[i].Name == name {
+			sp.Phases[i].Ns += int64(d)
+			return
+		}
+	}
+	sp.Phases = append(sp.Phases, Phase{Name: name, Ns: int64(d)})
+}
+
+// PhaseTotal returns the sum of all recorded phase durations.
+func (sp *Span) PhaseTotal() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	treeMu.Lock()
+	defer treeMu.Unlock()
+	var total int64
+	for _, p := range sp.Phases {
+		total += p.Ns
+	}
+	return time.Duration(total)
+}
+
+// addChild links a locally created child span (see StartSpanCtx).
+func (sp *Span) addChild(child *Span) {
+	treeMu.Lock()
+	sp.children = append(sp.children, child)
+	treeMu.Unlock()
+}
+
+// AddRemoteSpans attaches finished spans shipped back from a remote
+// server (the rpc layer calls this with a response's span payload).
+// They join the trace table when this span ends.
+func (sp *Span) AddRemoteSpans(spans []Span) {
+	if sp == nil || len(spans) == 0 {
+		return
+	}
+	treeMu.Lock()
+	sp.remote = append(sp.remote, spans...)
+	treeMu.Unlock()
+}
+
+// Flatten returns this span and every descendant — local children
+// recursively plus remote-shipped spans — as a flat value slice, the
+// form the rpc layer ships back to callers. Call only after the span
+// tree has finished mutating (all children ended).
+func (sp *Span) Flatten() []Span {
+	if sp == nil {
 		return nil
 	}
-	return &Span{Op: op, Start: time.Now()}
+	treeMu.Lock()
+	defer treeMu.Unlock()
+	return sp.flattenLocked(nil)
+}
+
+func (sp *Span) flattenLocked(out []Span) []Span {
+	out = append(out, *sp)
+	for _, c := range sp.children {
+		out = c.flattenLocked(out)
+	}
+	out = append(out, sp.remote...)
+	return out
 }
 
 // AddShard records that a shard/fragment was consulted.
@@ -75,6 +223,14 @@ func (sp *Span) AddShard(id int) {
 		return
 	}
 	sp.Shards = append(sp.Shards, id)
+}
+
+// SetServer records the cluster server ID this span reports from.
+func (sp *Span) SetServer(id int) {
+	if sp == nil {
+		return
+	}
+	sp.Server = id
 }
 
 // MarkLogStore records a LogStore hit.
@@ -119,7 +275,8 @@ func (sp *Span) AddBytes(n int64) {
 	sp.Bytes += n
 }
 
-// SetError records a failure.
+// SetError records a failure. Spans with errors are recorded by End
+// even when they fell outside the sampling period.
 func (sp *Span) SetError(err error) {
 	if sp == nil || err == nil {
 		return
@@ -127,19 +284,53 @@ func (sp *Span) SetError(err error) {
 	sp.Err = err.Error()
 }
 
-// End stamps the duration and records the span into the ring.
+// End stamps the duration and records the span: into the flight-
+// recorder ring and the trace table when sampled, and always when the
+// span carries an error (failures must never vanish into the 63/64
+// unsampled majority). Slow or failed spans additionally enter the
+// slow-query ring.
 func (sp *Span) End() {
 	if sp == nil {
 		return
 	}
 	sp.Duration = time.Since(sp.Start)
+	if sp.Err != "" {
+		mTraceErrSpans.Inc()
+	}
+	if !sp.sampled && sp.Err == "" {
+		return
+	}
 	recorder.record(*sp)
+	traces.add(*sp)
+	treeMu.Lock()
+	rem := sp.remote
+	treeMu.Unlock()
+	for _, r := range rem {
+		traces.add(r)
+	}
+	slowRecorder.offer(*sp)
 }
 
 // String renders a span as one human-readable trace line.
 func (sp *Span) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s", sp.Op, sp.Duration)
+	if !sp.Trace.IsZero() {
+		fmt.Fprintf(&b, " trace=%s", sp.Trace)
+	}
+	if sp.Server >= 0 {
+		fmt.Fprintf(&b, " server=%d", sp.Server)
+	}
+	if len(sp.Phases) > 0 {
+		b.WriteString(" phases=[")
+		for i, p := range sp.Phases {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%s", p.Name, time.Duration(p.Ns))
+		}
+		b.WriteByte(']')
+	}
 	if len(sp.Shards) > 0 {
 		fmt.Fprintf(&b, " shards=%v", sp.Shards)
 	}
@@ -215,13 +406,16 @@ func SpanTotal() int64 {
 	return recorder.total
 }
 
-// ResetSpans clears the flight recorder (tests).
+// ResetSpans clears the flight recorder, the trace table and the
+// slow-query ring (tests).
 func ResetSpans() {
 	recorder.mu.Lock()
-	defer recorder.mu.Unlock()
 	recorder.spans = [spanRingSize]Span{}
 	recorder.next = 0
 	recorder.total = 0
+	recorder.mu.Unlock()
+	traces.reset()
+	slowRecorder.reset()
 }
 
 func min64(a, b int64) int64 {

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -246,6 +247,131 @@ func TestSpanSampling(t *testing.T) {
 		}
 		if got := SpanTotal(); got != 5 {
 			t.Errorf("unsampled span total = %d, want 5", got)
+		}
+	})
+}
+
+// TestTraceMetricNames locks the trace-layer metric names into the
+// default registry's exposition so renames fail CI.
+func TestTraceMetricNames(t *testing.T) {
+	withEnabled(t, func() {
+		expo := Default.Expose()
+		for _, want := range []string{
+			"zipg_trace_spans_total",
+			"zipg_trace_error_spans_total",
+			"zipg_trace_slow_total",
+		} {
+			if !strings.Contains(expo, want) {
+				t.Errorf("exposition missing %s", want)
+			}
+		}
+	})
+}
+
+// TestErrorSpansBypassSampling verifies a failing query is recorded
+// even when the sampling period would have skipped it.
+func TestErrorSpansBypassSampling(t *testing.T) {
+	withEnabled(t, func() {
+		prev := SetSpanSampling(1 << 30) // effectively never sample
+		defer SetSpanSampling(prev)
+		ResetSpans()
+		spanTick.Store(1) // past the period's first tick
+
+		if sp := StartSpan("t.unsampled"); sp != nil {
+			t.Fatal("span should have fallen outside the sampling period")
+		}
+		RecordErrorSpan("t.failed", time.Now(), errTest)
+		if got := SpanTotal(); got != 1 {
+			t.Fatalf("span total = %d, want 1 (error span must record)", got)
+		}
+		spans := RecentSpans(1)
+		if len(spans) != 1 || spans[0].Err != "boom" {
+			t.Fatalf("recorded span = %+v", spans)
+		}
+		// Failures surface in the slow ring regardless of duration.
+		slow := SlowSpans()
+		if len(slow) != 1 || slow[0].Err != "boom" {
+			t.Fatalf("slow ring = %+v, want the failed span", slow)
+		}
+	})
+}
+
+var errTest = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// TestTraceTableAndAssembly builds a three-span tree through the
+// context API and checks assembly, ID parsing, and eviction bounds.
+func TestTraceTableAndAssembly(t *testing.T) {
+	withEnabled(t, func() {
+		prev := SetSpanSampling(1)
+		defer SetSpanSampling(prev)
+		ResetSpans()
+
+		root, ctx := StartSpanCtx(context.Background(), "t.root")
+		child, cctx := StartSpanCtx(ctx, "t.child")
+		grand, _ := StartSpanCtx(cctx, "t.grand")
+		grand.AddPhase("succinct_walk", 5*time.Millisecond)
+		grand.End()
+		child.End()
+		root.End()
+
+		if root.Trace.IsZero() || child.Trace != root.Trace || grand.Trace != root.Trace {
+			t.Fatalf("trace IDs diverge: %s %s %s", root.Trace, child.Trace, grand.Trace)
+		}
+		tree := AssembleTrace(root.Trace)
+		if tree == nil || tree.SpanCount != 3 || len(tree.Roots) != 1 {
+			t.Fatalf("tree = %+v, want 3 spans under 1 root", tree)
+		}
+		n := tree.Roots[0]
+		if n.Span.Op != "t.root" || len(n.Children) != 1 ||
+			n.Children[0].Span.Op != "t.child" || len(n.Children[0].Children) != 1 ||
+			n.Children[0].Children[0].Span.Op != "t.grand" {
+			t.Fatalf("tree shape wrong: %+v", tree)
+		}
+		// Round-trip the ID through its string form.
+		id, err := ParseTraceID(root.Trace.String())
+		if err != nil || id != root.Trace {
+			t.Fatalf("ParseTraceID(%s) = %v, %v", root.Trace, id, err)
+		}
+		// The table is bounded: flooding past maxTraces evicts oldest.
+		for i := 0; i < maxTraces+10; i++ {
+			sp := StartSpan("t.flood")
+			sp.End()
+		}
+		if AssembleTrace(root.Trace) != nil {
+			t.Error("oldest trace should have been evicted")
+		}
+	})
+}
+
+// TestSlowRingThreshold verifies only roots over the threshold enter
+// the ring, ordered failures-first.
+func TestSlowRingThreshold(t *testing.T) {
+	withEnabled(t, func() {
+		prev := SetSpanSampling(1)
+		defer SetSpanSampling(prev)
+		prevTh := SetSlowThreshold(10 * time.Millisecond)
+		defer SetSlowThreshold(prevTh)
+		ResetSpans()
+
+		fast := StartSpan("t.fast")
+		fast.End()
+		slow := StartSpan("t.slow")
+		slow.Start = slow.Start.Add(-50 * time.Millisecond) // backdate: 50ms "elapsed"
+		slow.End()
+		failed := StartSpan("t.failed")
+		failed.SetError(errTest)
+		failed.End()
+
+		got := SlowSpans()
+		if len(got) != 2 {
+			t.Fatalf("slow ring holds %d spans, want 2 (slow + failed)", len(got))
+		}
+		if got[0].Op != "t.failed" || got[1].Op != "t.slow" {
+			t.Errorf("slow ring order = [%s %s], want failures first", got[0].Op, got[1].Op)
 		}
 	})
 }
