@@ -269,6 +269,9 @@ var Experiments = map[string]func(Options) (*Result, error){
 	// Succinct access-kernel latencies vs the recorded pre-kernel
 	// baseline (no paper figure; §3.1's extract/search primitives).
 	"kernel-bench": KernelBench,
+	// Vectorized batch reads vs their scalar loops across batch sizes
+	// (no paper figure; the batch kernel contract in DESIGN.md).
+	"batch-bench": BatchBench,
 }
 
 // ExperimentNames returns the runnable experiment IDs, sorted.

@@ -25,6 +25,10 @@ const monotoneBlock = 16
 // window, already O(1).
 const monotoneHalf = monotoneBlock / 2
 
+// MonotoneBlockSize is monotoneBlock, exported so batch kernels can
+// reason about which accesses share a cursor block without decoding.
+const MonotoneBlockSize = monotoneBlock
+
 // hasMid reports whether a block carries a sub-anchor slot: only blocks
 // that extend past the midpoint and are wide enough that summing
 // monotoneBlock-1 deltas would actually cost something. For w<=1 the
@@ -377,6 +381,22 @@ func (c *MonotoneCursor) At(i int) uint64 {
 		c.block = b
 	}
 	return c.vals[i-b*monotoneBlock]
+}
+
+// Buffered reports whether element i lies inside the currently decoded
+// block, i.e. whether At(i) would be served from the buffer without a
+// block decode. Batch kernels use this to observe cursor reuse.
+func (c *MonotoneCursor) Buffered(i int) bool {
+	return c.block >= 0 && i/monotoneBlock == c.block
+}
+
+// DecodeBlockInto expands block b into dst as absolute values and
+// returns the element count (short for the final block; only the first
+// count slots are written). Batch kernels use it to fill a shared
+// decoded-block cache where one decode serves every later access to
+// the block as a plain array read.
+func (mv *MonotoneVector) DecodeBlockInto(b int, dst *[MonotoneBlockSize]uint64) int {
+	return mv.decodeBlock(b, dst)
 }
 
 // writeBits stores the low w bits of v at bit position pos.

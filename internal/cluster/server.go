@@ -22,7 +22,6 @@ import (
 	"zipg/internal/graphapi"
 	"zipg/internal/layout"
 	"zipg/internal/memsim"
-	"zipg/internal/parallel"
 	"zipg/internal/rpc"
 	"zipg/internal/store"
 	"zipg/internal/telemetry"
@@ -50,6 +49,10 @@ var (
 		"Per-owner subquery batches, by where they executed.")
 	mNeighborQueries = telemetry.NewCounter("zipg_cluster_neighbor_queries_total",
 		"Neighbor queries executed at this aggregator.")
+	mBatchDedup = telemetry.NewCounter("zipg_batch_dedup_total",
+		"Duplicate candidate IDs eliminated before MatchBatch fan-out.")
+	mBatchRequestsCluster = telemetry.NewCounterL("zipg_batch_requests_total", `layer="cluster"`,
+		"Items requested through batch kernels, by layer.")
 )
 
 // --- wire types ---
@@ -245,20 +248,16 @@ func (s *Server) registerHandlers() {
 		if err := rpc.DecodeArgsCtx(ctx, blob, &a); err != nil {
 			return nil, err
 		}
-		// A shipped batch checks many independent nodes; fan the
-		// compressed-shard lookups out over the shared pool. The whole
-		// batch is one succinct_walk phase on the serve span — the span
-		// is never handed to the pool workers, whose overlapping wall
-		// time would otherwise sum past the span's duration, and the
-		// untraced context keeps per-candidate reads from minting their
-		// own root traces.
+		// A shipped batch checks many independent nodes; the store's
+		// vectorized matcher resolves the whole batch in one
+		// locality-sorted pass over the compressed shards (per-shard
+		// groups still fan out on the shared pool inside). The whole
+		// batch is one succinct_walk phase on the serve span.
 		defer telemetry.PhaseFromContext(ctx, "succinct_walk")()
-		ictx := telemetry.UntracedContext(ctx)
-		out := parallel.Map("cluster.match_batch", len(a.IDs), func(i int) bool {
-			id := a.IDs[i]
-			return s.store.HasNodeCtx(ictx, id) && s.store.NodeMatchesCtx(ictx, id, a.Props)
-		})
-		return out, nil
+		if telemetry.Enabled() {
+			mBatchRequestsCluster.Add(int64(len(a.IDs)))
+		}
+		return s.store.NodeMatchesBatch(a.IDs, a.Props), nil
 	})
 	s.rpc.Handle("FindNodes", func(ctx context.Context, blob []byte) (any, error) {
 		var a propsArgs
@@ -411,16 +410,27 @@ func (s *Server) neighborsCtx(ctx context.Context, id graphapi.NodeID, etype gra
 	}
 	seen := make(map[graphapi.NodeID]bool)
 	perOwner := make(map[int][]graphapi.NodeID)
+	var dups int64
 	for _, rec := range records {
 		for _, dst := range rec.Destinations() {
-			if !seen[dst] {
-				seen[dst] = true
-				perOwner[OwnerOf(dst, s.cfg.NumServers)] = append(perOwner[OwnerOf(dst, s.cfg.NumServers)], dst)
+			if seen[dst] {
+				dups++
+				continue
 			}
+			seen[dst] = true
+			perOwner[OwnerOf(dst, s.cfg.NumServers)] = append(perOwner[OwnerOf(dst, s.cfg.NumServers)], dst)
 		}
+	}
+	// Sort each owner's candidates: sorted IDs group co-located shard
+	// records into runs, which the batch executor turns into one
+	// locality-ordered sweep per shard — and shipped batches become
+	// deterministic on the wire.
+	for _, ids := range perOwner {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
 	endWalk()
 	if telemetry.Enabled() {
+		mBatchDedup.Add(dups)
 		localIDs, remoteIDs, remoteOwners := 0, 0, 0
 		for owner, ids := range perOwner {
 			if owner == s.cfg.ID {
@@ -472,15 +482,13 @@ func (s *Server) neighborsCtx(ctx context.Context, id graphapi.NodeID, etype gra
 		}(owner, ids)
 	}
 	if local := perOwner[s.cfg.ID]; len(local) > 0 {
-		// One phase for the whole local batch; the span stays out of the
-		// pool workers (their overlapping wall time must not accumulate)
-		// and per-candidate reads run untraced under the batch phase.
+		// One phase for the whole local batch, which the store's
+		// vectorized matcher resolves in a single locality-sorted pass.
 		endLocal := sp.Phase("succinct_walk")
-		ictx := telemetry.UntracedContext(ctx)
-		matches := parallel.Map("cluster.local_subquery", len(local), func(i int) bool {
-			dst := local[i]
-			return s.store.HasNodeCtx(ictx, dst) && s.store.NodeMatchesCtx(ictx, dst, props)
-		})
+		if telemetry.Enabled() {
+			mBatchRequestsCluster.Add(int64(len(local)))
+		}
+		matches := s.store.NodeMatchesBatch(local, props)
 		endLocal()
 		mu.Lock()
 		for i, ok := range matches {

@@ -25,6 +25,10 @@ type shardWire struct {
 	EdgeSchema   layout.SchemaSpec
 	RawNodeBytes int
 	RawEdgeBytes int
+	// EdgeFormat versions the EdgeFile record layout. Gob leaves absent
+	// fields zero, so shards serialized before the hot-field header
+	// decode to layout.EdgeFormatLegacy and keep parsing correctly.
+	EdgeFormat int
 }
 
 // MarshalBinary serializes the shard.
@@ -39,6 +43,7 @@ func (s *Shard) MarshalBinary() ([]byte, error) {
 		EdgeSchema:   s.edges.Schema().Spec(),
 		RawNodeBytes: s.rawNodeBytes,
 		RawEdgeBytes: s.rawEdgeBytes,
+		EdgeFormat:   s.edgeFormat,
 	}
 	w.NodeOffsets = s.nodes.Offsets()
 	var buf bytes.Buffer
@@ -63,7 +68,7 @@ func UnmarshalShard(data []byte, med *memsim.Medium) (*Shard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: edge schema: %w", err)
 	}
-	s := &Shard{rawNodeBytes: w.RawNodeBytes, rawEdgeBytes: w.RawEdgeBytes, edgeSrcs: w.EdgeSrcs, edgeIndex: w.EdgeIndex}
+	s := &Shard{rawNodeBytes: w.RawNodeBytes, rawEdgeBytes: w.RawEdgeBytes, edgeSrcs: w.EdgeSrcs, edgeIndex: w.EdgeIndex, edgeFormat: w.EdgeFormat}
 	if s.nodeStore, err = succinct.UnmarshalStore(w.NodeStore, med); err != nil {
 		return nil, fmt.Errorf("core: node store: %w", err)
 	}
@@ -71,6 +76,6 @@ func UnmarshalShard(data []byte, med *memsim.Medium) (*Shard, error) {
 		return nil, fmt.Errorf("core: edge store: %w", err)
 	}
 	s.nodes = layout.NewNodeFileView(s.nodeStore, nodeSchema, w.NodeIDs, w.NodeOffsets, med)
-	s.edges = layout.NewEdgeFileView(s.edgeStore, edgeSchema)
+	s.edges = layout.NewEdgeFileViewFormat(s.edgeStore, edgeSchema, s.edgeFormat)
 	return s, nil
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"zipg/internal/layout"
+	"zipg/internal/succinct"
+)
+
+// oldShardWire is shardWire as it existed before the hot-field edge
+// header shipped — no EdgeFormat field. Gob matches struct fields by
+// name, so encoding it reproduces a pre-hot blob bit-for-bit in the
+// ways that matter: decoding leaves shardWire.EdgeFormat zero, i.e.
+// layout.EdgeFormatLegacy.
+type oldShardWire struct {
+	NodeStore    []byte
+	EdgeStore    []byte
+	NodeIDs      []int64
+	NodeOffsets  []int64
+	EdgeSrcs     []int64
+	EdgeIndex    []layout.EdgeRecordIndex
+	NodeSchema   layout.SchemaSpec
+	EdgeSchema   layout.SchemaSpec
+	RawNodeBytes int
+	RawEdgeBytes int
+}
+
+// TestLegacyShardRoundTrip proves shards serialized before this change
+// still load and serve: a wire blob with legacy-format edge bytes and
+// no EdgeFormat field must decode to a working shard whose queries
+// agree with a freshly built (hot-format) one.
+func TestLegacyShardRoundTrip(t *testing.T) {
+	hot, nodes, edges := buildTestShard(t)
+
+	// Assemble the legacy blob exactly as the pre-hot code did: legacy
+	// edge records, wire struct without the format field.
+	ns := hot.Nodes().Schema()
+	es := hot.Edges().Schema()
+	nodeFlat, ids, offs, err := layout.BuildNodeFile(nodes, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeFlat, edgeIndex, err := layout.BuildEdgeFileFormat(edges, es, layout.EdgeFormatLegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := succinct.Options{SamplingRate: 4}
+	w := oldShardWire{
+		NodeStore:    succinct.Build(nodeFlat, opts).MarshalBinary(),
+		EdgeStore:    succinct.Build(edgeFlat, opts).MarshalBinary(),
+		NodeIDs:      ids,
+		NodeOffsets:  offs,
+		EdgeSrcs:     distinctSources(edges),
+		EdgeIndex:    edgeIndex,
+		NodeSchema:   ns.Spec(),
+		EdgeSchema:   es.Spec(),
+		RawNodeBytes: len(nodeFlat),
+		RawEdgeBytes: len(edgeFlat),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, err := UnmarshalShard(buf.Bytes(), nil)
+	if err != nil {
+		t.Fatalf("legacy blob failed to load: %v", err)
+	}
+	if legacy.EdgeFormat() != layout.EdgeFormatLegacy {
+		t.Fatalf("EdgeFormat = %d, want legacy", legacy.EdgeFormat())
+	}
+	if hot.EdgeFormat() != layout.EdgeFormatHot {
+		t.Fatalf("fresh build EdgeFormat = %d, want hot", hot.EdgeFormat())
+	}
+
+	// Identical query results across the format boundary.
+	for _, n := range nodes {
+		got, ok := legacy.Nodes().GetAllProps(n.ID)
+		if !ok || !reflect.DeepEqual(got, n.Props) {
+			t.Fatalf("legacy node %d: %v", n.ID, got)
+		}
+	}
+	for _, src := range hot.EdgeSources() {
+		for etype := int64(0); etype < 2; etype++ {
+			href, hok := hot.Edges().GetEdgeRecord(src, etype)
+			lref, lok := legacy.Edges().GetEdgeRecord(src, etype)
+			if hok != lok {
+				t.Fatalf("record (%d,%d): hot %v legacy %v", src, etype, hok, lok)
+			}
+			if !hok {
+				continue
+			}
+			if href.Count != lref.Count {
+				t.Fatalf("record (%d,%d) counts: %d vs %d", src, etype, href.Count, lref.Count)
+			}
+			for i := 0; i < href.Count; i++ {
+				hd, err1 := hot.Edges().GetEdgeData(&href, i)
+				ld, err2 := legacy.Edges().GetEdgeData(&lref, i)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if !reflect.DeepEqual(hd, ld) {
+					t.Fatalf("record (%d,%d)[%d]: %+v vs %+v", src, etype, i, hd, ld)
+				}
+			}
+		}
+	}
+
+	// The legacy shard re-marshals with its format preserved.
+	blob, err := legacy.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := UnmarshalShard(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.EdgeFormat() != layout.EdgeFormatLegacy {
+		t.Fatalf("re-marshaled EdgeFormat = %d, want legacy", again.EdgeFormat())
+	}
+}

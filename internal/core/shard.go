@@ -39,8 +39,12 @@ type Shard struct {
 	// records live in other fragments).
 	edgeSrcs []layout.NodeID
 	// edgeIndex lists every edge record's key and offset in file order
-	// (used by edge-property search).
+	// (used by edge-property search and by batch reads, which locate
+	// records by binary search here instead of compressed search).
 	edgeIndex []layout.EdgeRecordIndex
+	// edgeFormat is the EdgeFile record format (layout.EdgeFormat*);
+	// shards deserialized from pre-hot-header builds carry Legacy.
+	edgeFormat int
 
 	rawNodeBytes int
 	rawEdgeBytes int
@@ -53,7 +57,9 @@ func Build(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *lay
 	if err != nil {
 		return nil, fmt.Errorf("core: node file: %w", err)
 	}
-	edgeFlat, edgeIndex, err := layout.BuildEdgeFile(edges, edgeSchema)
+	// New shards always build with the hot-field header; pre-hot shards
+	// deserialize with the legacy format recorded in their wire form.
+	edgeFlat, edgeIndex, err := layout.BuildEdgeFileFormat(edges, edgeSchema, layout.EdgeFormatHot)
 	if err != nil {
 		return nil, fmt.Errorf("core: edge file: %w", err)
 	}
@@ -71,11 +77,12 @@ func Build(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *lay
 		edgeStore:    stores[1],
 		edgeSrcs:     distinctSources(edges),
 		edgeIndex:    edgeIndex,
+		edgeFormat:   layout.EdgeFormatHot,
 		rawNodeBytes: len(nodeFlat),
 		rawEdgeBytes: len(edgeFlat),
 	}
 	s.nodes = layout.NewNodeFileView(s.nodeStore, nodeSchema, ids, offs, opts.Medium)
-	s.edges = layout.NewEdgeFileView(s.edgeStore, edgeSchema)
+	s.edges = layout.NewEdgeFileViewFormat(s.edgeStore, edgeSchema, s.edgeFormat)
 	return s, nil
 }
 
@@ -100,6 +107,31 @@ func (s *Shard) RawSize() int { return s.rawNodeBytes + s.rawEdgeBytes }
 // EdgeSources returns the distinct source node IDs that have edge
 // records in this shard, ascending.
 func (s *Shard) EdgeSources() []layout.NodeID { return s.edgeSrcs }
+
+// EdgeFormat returns the shard's EdgeFile record format.
+func (s *Shard) EdgeFormat() int { return s.edgeFormat }
+
+// EdgeRecordOffset locates the (src, etype) record's start offset via
+// binary search over the in-memory build index — O(log records) with no
+// compressed-store work, where GetEdgeRecord pays a full backward
+// search. The batch read paths use this to turn record location into
+// pure arithmetic before the sorted sweep.
+func (s *Shard) EdgeRecordOffset(src layout.NodeID, etype layout.EdgeType) (int64, bool) {
+	idx := s.edgeIndex
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx[mid].Src < src || (idx[mid].Src == src && idx[mid].Type < etype) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(idx) && idx[lo].Src == src && idx[lo].Type == etype {
+		return idx[lo].Offset, true
+	}
+	return 0, false
+}
 
 // FindEdges returns the edges in this shard whose property lists match
 // every pair exactly — the edge-search extension of §3.3.

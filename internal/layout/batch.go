@@ -1,0 +1,224 @@
+package layout
+
+import (
+	"fmt"
+
+	"zipg/internal/succinct"
+)
+
+// This file holds the vectorized record read paths. Both views accept a
+// batch of record requests, hand the record offsets to the succinct
+// WalkBatch kernel (which sorts them and moves ONE shared walker with
+// shared Ψ cursors through the file), and decode each record with a
+// single front-to-back walk. Over a non-compressed source the same
+// per-record decode runs in a plain loop — the code path is identical,
+// only the walker sharing is succinct-specific.
+
+// GetPropertiesBatch answers GetProperties(id, propertyIDs) for every id
+// in one locality-sorted sweep. Results are positional: vals[i]/oks[i]
+// correspond to ids[i], duplicates included; missing IDs yield
+// (nil, false) exactly like the scalar call.
+func (v *NodeFileView) GetPropertiesBatch(ids []NodeID, propertyIDs []string) ([][]string, []bool) {
+	vals := make([][]string, len(ids))
+	oks := make([]bool, len(ids))
+	if len(ids) == 0 {
+		return vals, oks
+	}
+	s, _ := v.src.(*succinct.Store)
+	if s == nil || len(ids) == 1 {
+		for i, id := range ids {
+			vals[i], oks[i] = v.GetProperties(id, propertyIDs)
+		}
+		return vals, oks
+	}
+	// Resolve IDs to record offsets up front (in-memory binary searches);
+	// absent IDs simply don't join the walk.
+	offs := make([]int, 0, len(ids))
+	back := make([]int, 0, len(ids))
+	for i, id := range ids {
+		if k := v.indexOf(id); k >= 0 {
+			offs = append(offs, int(v.offsets[k]))
+			back = append(back, i)
+		}
+	}
+	if len(offs) == 0 {
+		return vals, oks
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	s.WalkBatch(offs, func(j int, w *succinct.Walker) {
+		rw := recWalk{ss: s, sw: *w}
+		i := back[j]
+		vals[i], oks[i] = v.propsFromWalk(&rw, propertyIDs, sc)
+		*w = rw.sw // carry the walk position into the next record
+	})
+	return vals, oks
+}
+
+// WarmCaches populates the ref's lazy caches — the decoded timestamp
+// array and the property-length prefix sums — in one record walk, instead
+// of the one whole-array extract (and ISA anchor) each that the lazy
+// accessors pay when first touched separately. Accessors that only read
+// the caches (Timestamp, TimeRange, propLocation) are pure in-memory
+// lookups afterwards. No-op when both caches are already warm.
+func (v *EdgeFileView) WarmCaches(ref *EdgeRecordRef) {
+	if ref.ts != nil && ref.propEnds != nil {
+		return
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	w := newRecWalk(v.src, ref.tsOff)
+	if ref.ts == nil {
+		sc.buf = w.appendN(sc.buf[:0], ref.Count*ref.TLen)
+		ref.ts = decodeFixedArray(sc.buf, ref.TLen, ref.Count)
+	} else {
+		w.skip(ref.Count * ref.TLen)
+	}
+	w.skip(ref.Count * ref.DLen)
+	if ref.propEnds == nil {
+		sc.buf = w.appendN(sc.buf[:0], ref.Count*ref.PLenW)
+		ref.propEnds = prefixSums(sc.buf, ref.PLenW, ref.Count)
+	}
+}
+
+// decodeFixedArray decodes count fixed-width values from raw.
+func decodeFixedArray(raw []byte, width, count int) []int64 {
+	out := make([]int64, 0, count)
+	for i := 0; i+width <= len(raw); i += width {
+		out = append(out, int64(DecodeFixed(raw[i:i+width])))
+	}
+	return out
+}
+
+// prefixSums decodes count fixed-width lengths and returns their running
+// sums (the propEnds cache format).
+func prefixSums(raw []byte, width, count int) []int {
+	out := make([]int, 0, count)
+	sum := 0
+	for i := 0; i+width <= len(raw); i += width {
+		sum += int(DecodeFixed(raw[i : i+width]))
+		out = append(out, sum)
+	}
+	return out
+}
+
+// EdgeRangeReq asks for the edges [Idx, Idx+Limit) in time order from the
+// record starting at Offset (known from the build index) for (Src, Type).
+type EdgeRangeReq struct {
+	Src    NodeID
+	Type   EdgeType
+	Offset int64
+	Idx    int
+	Limit  int
+}
+
+// GetEdgeRangeBatch reads every requested record slice in one
+// locality-sorted sweep. Results are positional and match what a scalar
+// loop of GetEdgeRecordAt + GetEdgeData over [Idx, min(Idx+Limit, Count))
+// would produce (negative indices skipped, like TAO assoc_range). The
+// first decode error aborts, mirroring the scalar loop.
+func (v *EdgeFileView) GetEdgeRangeBatch(reqs []EdgeRangeReq) ([][]EdgeData, error) {
+	out := make([][]EdgeData, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	s, _ := v.src.(*succinct.Store)
+	if s == nil || len(reqs) == 1 {
+		for i, req := range reqs {
+			w := newRecWalk(v.src, int(req.Offset))
+			data, err := v.rangeFromWalk(&w, req, sc)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = data
+		}
+		return out, nil
+	}
+	offs := make([]int, len(reqs))
+	for i, req := range reqs {
+		offs[i] = int(req.Offset)
+	}
+	var firstErr error
+	s.WalkBatch(offs, func(i int, w *succinct.Walker) {
+		if firstErr != nil {
+			return
+		}
+		rw := recWalk{ss: s, sw: *w}
+		data, err := v.rangeFromWalk(&rw, reqs[i], sc)
+		*w = rw.sw
+		if err != nil {
+			firstErr = err
+			return
+		}
+		out[i] = data
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// rangeFromWalk decodes one record slice with a single front-to-back
+// walk: header, full timestamp array, the requested destination window,
+// full property-length array, and the contiguous property payload of the
+// requested edges — where the scalar path pays one extract (ISA anchor)
+// per field per edge, this pays one walk per record.
+func (v *EdgeFileView) rangeFromWalk(w *recWalk, req EdgeRangeReq, sc *recScratch) ([]EdgeData, error) {
+	keyLen := recordKeyLen(req.Src, req.Type)
+	w.skip(keyLen)
+	var hdr [hotFixedWidth + 3*9]byte
+	ref, ok := v.parseRecordWalk(w, req.Offset, keyLen, req.Src, req.Type, hdr[:0])
+	if !ok {
+		return nil, fmt.Errorf("layout: bad edge record at %d for (%d,%d)", req.Offset, req.Src, req.Type)
+	}
+	idx := req.Idx
+	if idx < 0 {
+		idx = 0 // scalar loops skip i < 0
+	}
+	end := req.Idx + req.Limit
+	if end > ref.Count {
+		end = ref.Count
+	}
+	n := end - idx
+	if n <= 0 {
+		return nil, nil
+	}
+	// Timestamps: decode the whole (Count·TLen) array — the walker passes
+	// over it anyway, and the requested window needs it in time order.
+	sc.buf = w.appendN(sc.buf[:0], ref.Count*ref.TLen)
+	ts := decodeFixedArray(sc.buf, ref.TLen, ref.Count)
+	// Destinations: only the requested window materializes; the walker
+	// skips the flanks.
+	w.skip(idx * ref.DLen)
+	sc.buf = w.appendN(sc.buf[:0], n*ref.DLen)
+	dsts := decodeFixedArray(sc.buf, ref.DLen, n)
+	w.skip((ref.Count - idx - n) * ref.DLen)
+	// Property lengths: full array, for the window's byte range.
+	sc.buf = w.appendN(sc.buf[:0], ref.Count*ref.PLenW)
+	ends := prefixSums(sc.buf, ref.PLenW, ref.Count)
+	start := 0
+	if idx > 0 {
+		start = ends[idx-1]
+	}
+	w.skip(start)
+	sc.buf = w.appendN(sc.buf[:0], ends[idx+n-1]-start)
+	payload := sc.buf
+	out := make([]EdgeData, 0, n)
+	cur := start
+	for i := 0; i < n; i++ {
+		e := EdgeData{Dst: NodeID(dsts[i]), Timestamp: ts[idx+i]}
+		bend := ends[idx+i]
+		if bend > cur {
+			props, _, err := v.schema.ParseProps(payload[cur-start : bend-start])
+			if err != nil {
+				return nil, fmt.Errorf("layout: edge %d/%d props: %w", ref.Src, idx+i, err)
+			}
+			e.Props = props
+		}
+		cur = bend
+		out = append(out, e)
+	}
+	return out, nil
+}

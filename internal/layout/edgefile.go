@@ -29,6 +29,33 @@ const (
 	metaWidth      = edgeCountWidth + 3
 )
 
+// EdgeFile record formats. Legacy is Figure 2 exactly; Hot prepends a
+// versioned hot-field header that promotes the fields every TAO
+// assoc_range / assoc_count / time-range query touches — edge count,
+// edge type and the timestamp span — to fixed-offset slots right after
+// the record key, so filters and range pruning read the header instead
+// of decoding the record body. The format is a whole-file property
+// carried by the shard (serialized shards gob-encode it; pre-hot shards
+// decode to Legacy), and each hot record additionally starts with a
+// version digit so a misconfigured view fails parsing instead of
+// misreading.
+const (
+	EdgeFormatLegacy = 0
+	EdgeFormatHot    = 1
+)
+
+// Hot-field header: after the $src#etype, key come
+//
+//	ver(1) count(6) TLen(1) DLen(1) PLenW(1) ETW(1) etype(ETW) tsMin(TLen) tsMax(TLen)
+//
+// followed by the same timestamp/destination/propLength/property arrays
+// as the legacy layout. tsMin/tsMax reuse the record's TLen so the
+// header grows by only 3+ETW+2·TLen digits per record.
+const (
+	hotVersion    = 1
+	hotFixedWidth = 1 + edgeCountWidth + 3 + 1 // ver + count + TLen/DLen/PLenW + ETW
+)
+
 // RecordKey returns the search key that starts the EdgeRecord for
 // (src, etype): $src#etype, with $ and # being non-printable delimiters.
 // The trailing ',' makes the key prefix-free (etype 5 never matches
@@ -65,12 +92,22 @@ type EdgeRecordIndex struct {
 	Offset int64
 }
 
-// BuildEdgeFile serializes edges into the EdgeFile layout of Figure 2:
-// one record per (src, etype) holding metadata, sorted timestamps,
+// BuildEdgeFile serializes edges into the legacy EdgeFile layout of
+// Figure 2 (see BuildEdgeFileFormat for the format-aware form).
+func BuildEdgeFile(edges []Edge, schema *PropertySchema) ([]byte, []EdgeRecordIndex, error) {
+	return BuildEdgeFileFormat(edges, schema, EdgeFormatLegacy)
+}
+
+// BuildEdgeFileFormat serializes edges into the EdgeFile layout: one
+// record per (src, etype) holding metadata, sorted timestamps,
 // destination IDs and property lists, the latter two ordered to match the
 // timestamps. Records appear in (src, etype) order. The returned index
-// lists every record's key and start offset, in file order.
-func BuildEdgeFile(edges []Edge, schema *PropertySchema) ([]byte, []EdgeRecordIndex, error) {
+// lists every record's key and start offset, in file order. format
+// selects the record header layout (EdgeFormatLegacy or EdgeFormatHot).
+func BuildEdgeFileFormat(edges []Edge, schema *PropertySchema, format int) ([]byte, []EdgeRecordIndex, error) {
+	if format != EdgeFormatLegacy && format != EdgeFormatHot {
+		return nil, nil, fmt.Errorf("layout: unknown edge file format %d", format)
+	}
 	type key struct {
 		src   NodeID
 		etype EdgeType
@@ -98,7 +135,7 @@ func BuildEdgeFile(edges []Edge, schema *PropertySchema) ([]byte, []EdgeRecordIn
 	for _, k := range keys {
 		index = append(index, EdgeRecordIndex{Src: k.src, Type: k.etype, Offset: int64(len(flat))})
 		var err error
-		if flat, err = appendEdgeRecord(flat, k.src, k.etype, groups[k], schema); err != nil {
+		if flat, err = appendEdgeRecord(flat, k.src, k.etype, groups[k], schema, format); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -106,7 +143,7 @@ func BuildEdgeFile(edges []Edge, schema *PropertySchema) ([]byte, []EdgeRecordIn
 }
 
 // appendEdgeRecord serializes one EdgeRecord.
-func appendEdgeRecord(flat []byte, src NodeID, etype EdgeType, group []Edge, schema *PropertySchema) ([]byte, error) {
+func appendEdgeRecord(flat []byte, src NodeID, etype EdgeType, group []Edge, schema *PropertySchema, format int) ([]byte, error) {
 	sort.SliceStable(group, func(i, j int) bool { return group[i].Timestamp < group[j].Timestamp })
 
 	// Per-record fixed widths (TLength/DLength in Figure 2).
@@ -137,10 +174,27 @@ func appendEdgeRecord(flat []byte, src NodeID, etype EdgeType, group []Edge, sch
 	}
 
 	flat = append(flat, RecordKey(src, etype)...)
-	flat = AppendFixed(flat, uint64(len(group)), edgeCountWidth)
-	flat = AppendFixed(flat, uint64(tLen), 1)
-	flat = AppendFixed(flat, uint64(dLen), 1)
-	flat = AppendFixed(flat, uint64(pLenW), 1)
+	if format == EdgeFormatHot {
+		etw := FixedWidth(uint64(etype))
+		if etw > 9 {
+			return nil, fmt.Errorf("layout: edge type %d too wide for hot header", etype)
+		}
+		flat = AppendFixed(flat, hotVersion, 1)
+		flat = AppendFixed(flat, uint64(len(group)), edgeCountWidth)
+		flat = AppendFixed(flat, uint64(tLen), 1)
+		flat = AppendFixed(flat, uint64(dLen), 1)
+		flat = AppendFixed(flat, uint64(pLenW), 1)
+		flat = AppendFixed(flat, uint64(etw), 1)
+		flat = AppendFixed(flat, uint64(etype), etw)
+		// group is timestamp-sorted, so the span is the two ends.
+		flat = AppendFixed(flat, uint64(group[0].Timestamp), tLen)
+		flat = AppendFixed(flat, uint64(group[len(group)-1].Timestamp), tLen)
+	} else {
+		flat = AppendFixed(flat, uint64(len(group)), edgeCountWidth)
+		flat = AppendFixed(flat, uint64(tLen), 1)
+		flat = AppendFixed(flat, uint64(dLen), 1)
+		flat = AppendFixed(flat, uint64(pLenW), 1)
+	}
 	for _, e := range group {
 		flat = AppendFixed(flat, uint64(e.Timestamp), tLen)
 	}
@@ -171,11 +225,19 @@ type EdgeRecordRef struct {
 	DLen   int
 	PLenW  int
 
+	// TsMin/TsMax are the record's timestamp span, read from the
+	// hot-field header. Valid only on refs parsed from a hot-format file
+	// (hasHot); TimeRange uses them to answer fully-covering and
+	// fully-disjoint queries without touching the timestamp array.
+	TsMin int64
+	TsMax int64
+
 	tsOff   int // absolute file offset of the timestamp array
 	dstOff  int
 	pLenOff int
 	propOff int
 
+	hasHot   bool
 	ts       []int64 // decoded timestamp array; nil until first use
 	propEnds []int   // prefix sums of property-list lengths; nil until first use
 }
@@ -185,37 +247,105 @@ type EdgeRecordRef struct {
 type EdgeFileView struct {
 	src    ByteSource
 	schema *PropertySchema
+	format int
 }
 
-// NewEdgeFileView wraps a serialized EdgeFile.
+// NewEdgeFileView wraps a serialized legacy-format EdgeFile (see
+// NewEdgeFileViewFormat).
 func NewEdgeFileView(src ByteSource, schema *PropertySchema) *EdgeFileView {
-	return &EdgeFileView{src: src, schema: schema}
+	return NewEdgeFileViewFormat(src, schema, EdgeFormatLegacy)
+}
+
+// NewEdgeFileViewFormat wraps a serialized EdgeFile whose records use the
+// given format. The format must match what the file was built with —
+// shards persist it alongside the compressed bytes.
+func NewEdgeFileViewFormat(src ByteSource, schema *PropertySchema, format int) *EdgeFileView {
+	return &EdgeFileView{src: src, schema: schema, format: format}
 }
 
 // Schema returns the edge property schema.
 func (v *EdgeFileView) Schema() *PropertySchema { return v.schema }
 
+// Format returns the record format the view parses
+// (EdgeFormatLegacy/EdgeFormatHot).
+func (v *EdgeFileView) Format() int { return v.format }
+
+// recordKeyLen returns len(RecordKey(src, etype)) without building the
+// key: the two delimiters and the comma plus the decimal digits.
+func recordKeyLen(src NodeID, etype EdgeType) int {
+	n := 3
+	for v := src; ; v /= 10 {
+		n++
+		if v < 10 {
+			break
+		}
+	}
+	for v := int64(etype); ; v /= 10 {
+		n++
+		if v < 10 {
+			break
+		}
+	}
+	return n
+}
+
 // parseRecordAt parses the EdgeRecord whose key starts at off. keyLen is
 // the length of the $src#etype, key.
 func (v *EdgeFileView) parseRecordAt(off int64, keyLen int, src NodeID, etype EdgeType) (EdgeRecordRef, bool) {
-	meta := v.src.Extract(int(off)+keyLen, metaWidth)
-	if len(meta) < metaWidth {
-		return EdgeRecordRef{}, false
+	w := newRecWalk(v.src, int(off)+keyLen)
+	var buf [hotFixedWidth + 3*9]byte
+	return v.parseRecordWalk(&w, off, keyLen, src, etype, buf[:0])
+}
+
+// parseRecordWalk parses a record header with w positioned just past the
+// record key (at off+keyLen), leaving w at the start of the timestamp
+// array. buf is scratch for the header bytes. This is the single header
+// parser for both formats; the batch read paths call it with a shared
+// walker so header, field arrays and property payload ride one
+// suffix-array walk.
+func (v *EdgeFileView) parseRecordWalk(w *recWalk, off int64, keyLen int, src NodeID, etype EdgeType, buf []byte) (EdgeRecordRef, bool) {
+	ref := EdgeRecordRef{Src: src, Type: etype, Offset: off}
+	if v.format == EdgeFormatHot {
+		buf = w.appendN(buf[:0], hotFixedWidth)
+		if len(buf) < hotFixedWidth || DecodeFixed(buf[:1]) != hotVersion {
+			return EdgeRecordRef{}, false
+		}
+		ref.Count = int(DecodeFixed(buf[1 : 1+edgeCountWidth]))
+		ref.TLen = int(DecodeFixed(buf[1+edgeCountWidth : 2+edgeCountWidth]))
+		ref.DLen = int(DecodeFixed(buf[2+edgeCountWidth : 3+edgeCountWidth]))
+		ref.PLenW = int(DecodeFixed(buf[3+edgeCountWidth : 4+edgeCountWidth]))
+		etw := int(DecodeFixed(buf[4+edgeCountWidth : 5+edgeCountWidth]))
+		varLen := etw + 2*ref.TLen
+		buf = w.appendN(buf[:0], varLen)
+		if len(buf) < varLen {
+			return EdgeRecordRef{}, false
+		}
+		ref.TsMin = int64(DecodeFixed(buf[etw : etw+ref.TLen]))
+		ref.TsMax = int64(DecodeFixed(buf[etw+ref.TLen:]))
+		ref.hasHot = true
+		ref.tsOff = int(off) + keyLen + hotFixedWidth + varLen
+	} else {
+		buf = w.appendN(buf[:0], metaWidth)
+		if len(buf) < metaWidth {
+			return EdgeRecordRef{}, false
+		}
+		ref.Count = int(DecodeFixed(buf[:edgeCountWidth]))
+		ref.TLen = int(DecodeFixed(buf[edgeCountWidth : edgeCountWidth+1]))
+		ref.DLen = int(DecodeFixed(buf[edgeCountWidth+1 : edgeCountWidth+2]))
+		ref.PLenW = int(DecodeFixed(buf[edgeCountWidth+2 : edgeCountWidth+3]))
+		ref.tsOff = int(off) + keyLen + metaWidth
 	}
-	ref := EdgeRecordRef{
-		Src:    src,
-		Type:   etype,
-		Offset: off,
-		Count:  int(DecodeFixed(meta[:edgeCountWidth])),
-		TLen:   int(DecodeFixed(meta[edgeCountWidth : edgeCountWidth+1])),
-		DLen:   int(DecodeFixed(meta[edgeCountWidth+1 : edgeCountWidth+2])),
-		PLenW:  int(DecodeFixed(meta[edgeCountWidth+2 : edgeCountWidth+3])),
-	}
-	ref.tsOff = int(off) + keyLen + metaWidth
 	ref.dstOff = ref.tsOff + ref.Count*ref.TLen
 	ref.pLenOff = ref.dstOff + ref.Count*ref.DLen
 	ref.propOff = ref.pLenOff + ref.Count*ref.PLenW
 	return ref, true
+}
+
+// GetEdgeRecordAt parses the record known to start at off for
+// (src, etype) — callers holding the build index (core shards) use this
+// to skip the compressed search GetEdgeRecord pays to locate the record.
+func (v *EdgeFileView) GetEdgeRecordAt(off int64, src NodeID, etype EdgeType) (EdgeRecordRef, bool) {
+	return v.parseRecordAt(off, recordKeyLen(src, etype), src, etype)
 }
 
 // GetEdgeRecord locates the EdgeRecord for (src, etype) via
@@ -362,15 +492,18 @@ type EdgeData struct {
 
 // GetEdgeData returns the i-th edge's (destination, timestamp,
 // property list) — §2.2's get_edge_data, with i being the TimeOrder.
-// After the record's field windows are cached on the ref, each call is
-// one destination extract, one property extract and O(1) arithmetic.
+// On a cold ref the timestamp array and the property prefix sums are
+// populated together in one record walk (WarmCaches) instead of one
+// whole-array extract each; after that, each call is one destination
+// extract, one property extract and O(1) arithmetic.
 func (v *EdgeFileView) GetEdgeData(ref *EdgeRecordRef, i int) (EdgeData, error) {
 	if i < 0 || i >= ref.Count {
 		return EdgeData{}, fmt.Errorf("layout: time order %d out of range [0,%d)", i, ref.Count)
 	}
+	v.WarmCaches(ref)
 	d := EdgeData{
 		Dst:       v.Destination(ref, i),
-		Timestamp: v.Timestamps(ref)[i],
+		Timestamp: ref.ts[i],
 	}
 	off, n := v.propLocation(ref, i)
 	if n > 0 {
@@ -387,8 +520,22 @@ func (v *EdgeFileView) GetEdgeData(ref *EdgeRecordRef, i int) (EdgeData, error) 
 // TimeRange returns the half-open TimeOrder range [beg, end) of edges
 // with timestamps in [tLo, tHi), via binary search over the sorted
 // timestamp array (§3.3's motivation for sorted fixed-width timestamps).
-// The array is decoded once (one extract) and searched in memory.
+// On hot-format refs the header's timestamp span answers queries that
+// fully cover or fully miss the record without decoding the array at
+// all; otherwise the array is decoded once (one extract) and searched
+// in memory. The short-circuits return exactly what the binary searches
+// would.
 func (v *EdgeFileView) TimeRange(ref *EdgeRecordRef, tLo, tHi int64) (int, int) {
+	if ref.hasHot && ref.ts == nil && ref.Count > 0 {
+		switch {
+		case tLo <= ref.TsMin && tHi > ref.TsMax:
+			return 0, ref.Count
+		case tHi <= ref.TsMin && tLo <= ref.TsMin:
+			return 0, 0
+		case tLo > ref.TsMax && tHi > ref.TsMax:
+			return ref.Count, ref.Count
+		}
+	}
 	ts := v.Timestamps(ref)
 	beg := bitutil.SearchGE(ts, tLo)
 	end := bitutil.SearchGE(ts, tHi)

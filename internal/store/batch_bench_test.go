@@ -1,0 +1,72 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"zipg/internal/layout"
+)
+
+// Batch-vs-scalar benchmarks over one store; CI's bench smoke runs each
+// once so a setup break or hang fails fast.
+
+func benchStore(b *testing.B) (*Store, [][]layout.NodeID, [][]AssocRangeReq) {
+	b.Helper()
+	s, _, _ := newTestStore(b, 400, 4000, 2)
+	rng := rand.New(rand.NewSource(9))
+	const size = 64
+	ids := make([][]layout.NodeID, 32)
+	reqs := make([][]AssocRangeReq, 32)
+	for i := range ids {
+		ids[i] = make([]layout.NodeID, size)
+		reqs[i] = make([]AssocRangeReq, size)
+		for k := 0; k < size; k++ {
+			ids[i][k] = layout.NodeID(rng.Intn(400))
+			reqs[i][k] = AssocRangeReq{
+				ID: layout.NodeID(rng.Intn(400)), Type: int64(rng.Intn(3)),
+				Idx: 0, Limit: 10,
+			}
+		}
+	}
+	return s, ids, reqs
+}
+
+func BenchmarkBatchObjGet64(b *testing.B) {
+	s, ids, _ := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObjGetBatch(ids[i%len(ids)])
+	}
+}
+
+func BenchmarkScalarObjGet64(b *testing.B) {
+	s, ids, _ := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids[i%len(ids)] {
+			s.GetNodeProps(id, nil)
+		}
+	}
+}
+
+func BenchmarkBatchAssocRange64(b *testing.B) {
+	s, _, reqs := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AssocRangeBatch(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalarAssocRange64(b *testing.B) {
+	s, _, reqs := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, req := range reqs[i%len(reqs)] {
+			if _, err := s.assocRangeScalar(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

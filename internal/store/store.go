@@ -193,8 +193,11 @@ func (s *Store) DeleteNode(id layout.NodeID) {
 	mOpDeleteNode.Inc()
 	s.mu.Lock()
 	s.deletedNodes[id] = true
-	s.mu.Unlock()
+	// Under the store lock: a rollover swaps s.log, so reading it
+	// outside would race (and could drop the removal into a log that
+	// was just frozen).
 	s.log.RemoveNode(id)
+	s.mu.Unlock()
 }
 
 // DeleteEdges deletes all (src, etype, dst) edges (Table 1's
@@ -202,9 +205,10 @@ func (s *Store) DeleteNode(id layout.NodeID) {
 // directly; compressed fragments get lazy per-position deletion marks.
 func (s *Store) DeleteEdges(src layout.NodeID, etype layout.EdgeType, dst layout.NodeID) int {
 	mOpDeleteEdges.Inc()
-	removed := s.log.RemoveEdges(src, etype, dst)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// s.log is only stable under the store lock (rollover swaps it).
+	removed := s.log.RemoveEdges(src, etype, dst)
 	for _, sh := range s.fragmentsOfLocked(src) {
 		ref, ok := sh.Edges().GetEdgeRecord(src, etype)
 		if !ok {

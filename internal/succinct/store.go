@@ -54,6 +54,13 @@ type Store struct {
 	// search. Derived from bucketStart; a few KB, charged to the medium.
 	rowDir []int32
 
+	// psiBlockBase numbers every bucket's monotone blocks in one global
+	// sequence: bucket k's block j has global ID psiBlockBase[k]+j, and
+	// psiBlocks is the total. Batch kernels key their per-batch
+	// decoded-block cache by global ID. Derived; rebuilt at load.
+	psiBlockBase []int32
+	psiBlocks    int
+
 	// Ψ, stored per bucket.
 	psi []*bitutil.MonotoneVector
 
@@ -214,8 +221,21 @@ func (s *Store) buildRowDir() {
 	s.rowDir = dir
 }
 
+// buildPsiBlockIndex derives the global block numbering from the bucket
+// table (never serialized; rebuilt at load, like rowDir).
+func (s *Store) buildPsiBlockIndex() {
+	s.psiBlockBase = make([]int32, len(s.psi))
+	total := 0
+	for k, p := range s.psi {
+		s.psiBlockBase[k] = int32(total)
+		total += (p.Len() + bitutil.MonotoneBlockSize - 1) / bitutil.MonotoneBlockSize
+	}
+	s.psiBlocks = total
+}
+
 func (s *Store) registerRegions() {
 	s.buildRowDir()
+	s.buildPsiBlockIndex()
 	var psiBytes int
 	for _, p := range s.psi {
 		psiBytes += p.SizeBytes()

@@ -16,6 +16,29 @@ type Walker struct {
 	row   int // suffix-array row of the current text offset
 	off   int // current text offset
 	since int // Ψ steps since the last medium charge (see extractChargeStride)
+
+	// bc, when non-nil, routes every Ψ evaluation through the batch's
+	// shared per-bucket cursors (see batch.go). Scalar walkers leave it
+	// nil and hit Store.stepRow directly.
+	bc *batchCursors
+}
+
+// stepPsi evaluates Ψ at row through the shared batch cursors when the
+// walker belongs to a batch, else through the store directly.
+func (w *Walker) stepPsi(row int) (int32, int) {
+	if w.bc != nil {
+		return w.bc.stepRow(row)
+	}
+	return w.s.stepRow(row, false)
+}
+
+// anchorISA re-anchors at text position pos, routing the anchor walk's
+// Ψ steps through the batch cursors when present.
+func (w *Walker) anchorISA(pos int) int {
+	if w.bc != nil {
+		return w.s.lookupISABatch(pos, w.bc)
+	}
+	return w.s.lookupISA(pos, false)
 }
 
 // Walk returns a walker positioned at text offset off (clamped to the
@@ -52,10 +75,9 @@ func (w *Walker) step(next int) {
 // them. Reads stop early at end of text. dst grows by append — pass a
 // buffer with capacity for zero-alloc steady state.
 func (w *Walker) Append(dst []byte, n int) []byte {
-	s := w.s
 	read := 0
 	for ; read < n; read++ {
-		c, next := s.stepRow(w.row, false)
+		c, next := w.stepPsi(w.row)
 		if c == 0 {
 			break // sentinel: end of text
 		}
@@ -74,10 +96,9 @@ func (w *Walker) Append(dst []byte, n int) []byte {
 // seen earlier. The cursor is left on the delimiter (or wherever the
 // read stopped).
 func (w *Walker) AppendUntil(dst []byte, delim byte, max int) []byte {
-	s := w.s
 	read := 0
 	for ; read < max; read++ {
-		c, next := s.stepRow(w.row, false)
+		c, next := w.stepPsi(w.row)
 		if c == 0 || byte(c-1) == delim {
 			break
 		}
@@ -108,18 +129,40 @@ func (w *Walker) Skip(n int) {
 	anchorCost := target % s.alpha
 	if anchorCost < walkCost {
 		s.chargeISAAt(target)
-		w.row = s.lookupISA(target, false) // counts its own Ψ steps
+		w.row = w.anchorISA(target) // counts its own Ψ steps
 		w.off = target
 		w.since = 0
 		return
 	}
 	steps := 0
 	for w.off < target {
-		_, next := s.stepRow(w.row, false)
+		_, next := w.stepPsi(w.row)
 		w.step(next)
 		steps++
 	}
 	if telemetry.Enabled() {
 		mPsiSteps.Add(int64(steps))
 	}
+}
+
+// SeekTo repositions the walker at absolute text offset off (clamped to
+// the text). A forward seek reuses Skip's walk-vs-anchor choice; a
+// backward seek must re-anchor. Batch kernels use this to move one
+// shared walker between sorted requests.
+func (w *Walker) SeekTo(off int) {
+	s := w.s
+	if off < 0 {
+		off = 0
+	}
+	if off > s.n-1 {
+		off = s.n - 1
+	}
+	if off >= w.off {
+		w.Skip(off - w.off)
+		return
+	}
+	s.chargeISAAt(off)
+	w.row = w.anchorISA(off)
+	w.off = off
+	w.since = 0
 }

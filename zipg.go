@@ -175,6 +175,42 @@ func (g *Graph) GetNodeProperty(id NodeID, propertyIDs []string) ([]string, bool
 	return g.s.GetNodeProps(id, propertyIDs)
 }
 
+// ObjGetBatch answers GetNodeProperty(id, nil) for every id in one
+// vectorized pass over the compressed shards (locality-sorted succinct
+// kernels, shared decode cursors). Results are positional and identical
+// to a scalar loop: absent or deleted nodes yield (nil, false).
+func (g *Graph) ObjGetBatch(ids []NodeID) ([][]string, []bool) {
+	vals, oks := g.s.ObjGetBatch(ids)
+	for i, ok := range oks {
+		if !ok {
+			vals[i] = nil
+			continue
+		}
+		// Same wildcard filtering as GetNodeProperty: drop absent
+		// properties (encoded as empty values).
+		out := make([]string, 0, len(vals[i]))
+		for _, v := range vals[i] {
+			if v != "" {
+				out = append(out, v)
+			}
+		}
+		vals[i] = out
+	}
+	return vals, oks
+}
+
+// AssocRangeBatch answers, per request, the edges of (ID, Type) at
+// TimeOrder [Idx, min(Idx+Limit, count)) in one vectorized pass;
+// missing records yield nil. Identical to a scalar GetEdgeRecord +
+// Data loop over the same requests.
+func (g *Graph) AssocRangeBatch(reqs []graphapi.AssocRangeReq) ([][]EdgeData, error) {
+	sreqs := make([]store.AssocRangeReq, len(reqs))
+	for i, r := range reqs {
+		sreqs[i] = store.AssocRangeReq{ID: r.ID, Type: r.Type, Idx: r.Idx, Limit: r.Limit}
+	}
+	return g.s.AssocRangeBatch(sreqs)
+}
+
 // GetNodeProperties returns the node's full property map.
 func (g *Graph) GetNodeProperties(id NodeID) (map[string]string, bool) {
 	return g.s.GetAllNodeProps(id)
@@ -297,5 +333,8 @@ func (g *Graph) Compact() error { return g.s.Compact() }
 func (g *Graph) Store() *store.Store { return g.s }
 
 // Compile-time check: Graph implements the shared store interface used
-// by all workload drivers.
-var _ graphapi.Store = (*Graph)(nil)
+// by all workload drivers, plus its vectorized batch extension.
+var (
+	_ graphapi.Store      = (*Graph)(nil)
+	_ graphapi.BatchStore = (*Graph)(nil)
+)
