@@ -14,6 +14,9 @@
 //	save <path> / load <path>       persist / restore (local mode)
 //	trace [id]                      fetch + pretty-print a distributed
 //	                                span tree from -admin (no id: list)
+//	codecs                          per-shard codec/α report: local
+//	                                store directly, or /debug/codecs
+//	                                from -admin
 //	quit
 package main
 
@@ -22,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -32,6 +36,7 @@ import (
 	"zipg/internal/cluster"
 	"zipg/internal/gen"
 	"zipg/internal/graphapi"
+	"zipg/internal/store"
 	"zipg/internal/telemetry"
 )
 
@@ -93,6 +98,10 @@ func main() {
 				if err := traceCmd(*admin, fields[1:]); err != nil {
 					fmt.Println("error:", err)
 				}
+			case fields[0] == "codecs":
+				if err := codecsCmd(local, *admin); err != nil {
+					fmt.Println("error:", err)
+				}
 			case fields[0] == "load" && len(fields) == 2:
 				g, err := loadLocal(fields[1])
 				if err != nil {
@@ -109,6 +118,35 @@ func main() {
 		}
 		fmt.Print("zipg> ")
 	}
+}
+
+// codecsCmd prints the per-shard codec report: which codec each region
+// (Ψ, SA/ISA samples, offset columns) chose, its size and decode speed,
+// and each shard's sampling rate α and read heat. In local mode it
+// reads the store directly; otherwise it fetches /debug/codecs from
+// the -admin endpoint.
+func codecsCmd(local *zipg.Graph, admin string) error {
+	if local != nil {
+		fmt.Print(store.FormatCodecReport(local.Store().CodecReport()))
+		return nil
+	}
+	if admin == "" {
+		return fmt.Errorf("codecs requires local mode or -admin host:port (a zipg-server admin endpoint)")
+	}
+	if !strings.Contains(admin, "://") {
+		admin = "http://" + admin
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(admin + "/debug/codecs")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s from %s/debug/codecs", resp.Status, admin)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 // traceCmd fetches one assembled distributed span tree from a server's

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"syscall"
 
+	"zipg/internal/bitutil"
 	"zipg/internal/cluster"
 	"zipg/internal/datafile"
 	"zipg/internal/telemetry"
@@ -31,6 +32,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated addresses of all servers, in ID order")
 	shards := flag.Int("shards", 4, "shards per server (paper default: one per core)")
 	alpha := flag.Int("alpha", 32, "succinct sampling rate")
+	codec := flag.String("codec", "auto", "region codec policy: auto, legacy, simple8b or varint")
+	autoTune := flag.Bool("autotune-alpha", false, "let compactions retune per-shard alpha from read heat")
 	admin := flag.String("admin", "127.0.0.1:0",
 		"admin HTTP address serving /metrics, /healthz, /debug/vars, /debug/traces, /debug/trace/{id}, /debug/slow and /debug/pprof (empty to disable)")
 	noTelemetry := flag.Bool("no-telemetry", false, "disable telemetry recording (admin endpoints stay up)")
@@ -63,13 +66,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Enable telemetry before the build so build-time series (codec
+	// region/bytes/trial counters) record the initial compression.
+	if !*noTelemetry {
+		telemetry.Enable()
+	}
 	fmt.Printf("server %d: compressing %d nodes, %d edges into %d shards...\n",
 		*id, len(g.Nodes), len(g.Edges), *shards)
+	policy, err := bitutil.PolicyByName(*codec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	srv, err := cluster.NewServer(g.Nodes, g.Edges, nodeSchema, edgeSchema, cluster.ServerConfig{
 		ID:              *id,
 		NumServers:      g.NumServers,
 		ShardsPerServer: *shards,
 		SamplingRate:    *alpha,
+		Codec:           policy,
+		AutoTuneAlpha:   *autoTune,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -83,9 +98,6 @@ func main() {
 	srv.ConnectPeers(peerList)
 	fmt.Printf("server %d: serving on %s\n", *id, bound)
 
-	if !*noTelemetry {
-		telemetry.Enable()
-	}
 	telemetry.SetSlowThreshold(*slowThreshold)
 	var adminSrv *telemetry.AdminServer
 	if *admin != "" {
@@ -95,7 +107,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer adminSrv.Close()
-		fmt.Printf("server %d: admin endpoints on http://%s (/metrics /healthz /debug/vars /debug/traces /debug/trace/{id} /debug/slow /debug/pprof)\n",
+		fmt.Printf("server %d: admin endpoints on http://%s (/metrics /healthz /debug/vars /debug/traces /debug/trace/{id} /debug/slow /debug/codecs /debug/pprof)\n",
 			*id, adminSrv.Addr)
 	}
 

@@ -272,6 +272,9 @@ var Experiments = map[string]func(Options) (*Result, error){
 	// Vectorized batch reads vs their scalar loops across batch sizes
 	// (no paper figure; the batch kernel contract in DESIGN.md).
 	"batch-bench": BatchBench,
+	// Pluggable integer codecs × α sweep plus the α auto-tuning demo
+	// (no paper figure; the codec layer in DESIGN.md).
+	"codec-bench": CodecBench,
 }
 
 // ExperimentNames returns the runnable experiment IDs, sorted.

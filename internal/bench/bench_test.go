@@ -269,8 +269,8 @@ func TestBuildSystemUnknown(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 21 {
-		t.Fatalf("want 21 experiments, got %d: %v", len(names), names)
+	if len(names) != 22 {
+		t.Fatalf("want 22 experiments, got %d: %v", len(names), names)
 	}
 }
 

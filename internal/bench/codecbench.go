@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"zipg/internal/bitutil"
+	"zipg/internal/store"
+	"zipg/internal/workloads"
+)
+
+// CodecBench sweeps the pluggable integer codecs against the sampling
+// rate α (no paper figure; the codec layer in DESIGN.md). Two parts:
+//
+// Part 1 builds the same dataset under every codec policy × α and
+// reports the encoded bytes of the codec-managed regions (Ψ blocks,
+// SA/ISA samples, offset vectors) plus obj_get/assoc_range throughput.
+// The per-region auto policy should meet or beat every fixed codec on
+// encoded bytes — different regions have different value shapes, so no
+// single codec wins everywhere — while a fixed battery of queries
+// cross-checks that no policy changes any answer.
+//
+// Part 2 drives a Zipf-skewed TAO read mix at an α-auto-tuning store
+// and compacts: the report shows per-partition reads and the tuned α,
+// with the hottest partition sampling denser than base and cold
+// partitions compressing harder.
+func CodecBench(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	d, err := datasetByName("orkut", opts.BaseBytes)
+	if err != nil {
+		return nil, err
+	}
+	ns, es, err := deriveSchemas(d)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Title:   "Codec sweep: policy × α (encoded bytes, throughput) + α auto-tuning",
+		Headers: []string{"dataset", "policy", "alpha", "region-bytes", "obj_get-KOps", "assoc_range-KOps", "answers"},
+		Notes: []string{
+			"region-bytes: codec-managed regions only (Psi blocks, SA/ISA samples, offset vectors)",
+			"expected: auto <= every fixed codec on region-bytes, answers identical everywhere",
+		},
+	}
+
+	policies := []struct {
+		name   string
+		policy bitutil.CodecPolicy
+	}{
+		{"legacy", bitutil.CodecForceLegacy},
+		{"simple8b", bitutil.CodecForceSimple8b},
+		{"varint", bitutil.CodecForceVarint},
+		{"auto", bitutil.CodecAuto},
+	}
+	// Two scales: at the base size legacy's per-block packing amortizes
+	// well; at quarter scale the per-shard regions are small enough that
+	// varint wins some of them, so the auto policy's per-region mix is
+	// visible in both regimes.
+	for _, sc := range []struct {
+		label string
+		div   int64
+	}{{"orkut/4", 4}, {"orkut", 1}} {
+		d, err := datasetByName("orkut", opts.BaseBytes/sc.div)
+		if err != nil {
+			return nil, err
+		}
+		ns, es, err := deriveSchemas(d)
+		if err != nil {
+			return nil, err
+		}
+		var objMix, rangeMix workloads.Frequencies
+		objMix[workloads.OpObjGet] = 1
+		rangeMix[workloads.OpAssocRange] = 1
+		objOps := workloads.GenerateOps(d, workloads.MixConfig{Mix: objMix, Seed: 2401}, opts.Ops)
+		rangeOps := workloads.GenerateOps(d, workloads.MixConfig{Mix: rangeMix, Seed: 2402}, opts.Ops)
+
+		var ref *storeBatteryAnswers
+		autoBytes := map[int]int64{}
+		fixedBest := map[int]int64{}
+		autoMix := map[int]string{}
+		for _, alpha := range []int{8, 32} {
+			for _, pc := range policies {
+				st, err := store.New(d.Nodes, d.Edges, ns, es, store.Config{
+					NumShards: 4, SamplingRate: alpha, Codec: pc.policy,
+				})
+				if err != nil {
+					return nil, err
+				}
+				g := storeAdapter{st}
+				bytes := codecRegionBytes(st)
+				if pc.name == "auto" {
+					autoBytes[alpha] = bytes
+					autoMix[alpha] = codecMix(st)
+				} else if best, ok := fixedBest[alpha]; !ok || bytes < best {
+					fixedBest[alpha] = bytes
+				}
+
+				answers := codecBattery(st, d.Nodes[0].ID, int64(len(d.Nodes)))
+				verdict := "identical"
+				if ref == nil {
+					ref = &answers
+					verdict = "reference"
+				} else if !reflect.DeepEqual(*ref, answers) {
+					verdict = "DIVERGED"
+				}
+
+				sys := &System{Name: pc.name, Store: g}
+				objT := sys.throughputUnmediated(len(objOps), func(i int) { workloads.Execute(g, objOps[i]) })
+				rangeT := sys.throughputUnmediated(len(rangeOps), func(i int) { workloads.Execute(g, rangeOps[i]) })
+				r.Rows = append(r.Rows, []string{
+					sc.label, pc.name, fmt.Sprint(alpha), fmt.Sprint(bytes),
+					kops(objT), kops(rangeT), verdict,
+				})
+			}
+		}
+		for _, alpha := range []int{8, 32} {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"%s alpha=%d: auto=%dB vs best-fixed=%dB (%+.2f%%), auto mix: %s",
+				sc.label, alpha, autoBytes[alpha], fixedBest[alpha],
+				100*float64(autoBytes[alpha]-fixedBest[alpha])/float64(fixedBest[alpha]),
+				autoMix[alpha]))
+		}
+	}
+
+	// Part 2: α auto-tuning under a Zipf-skewed TAO read mix.
+	const base = 32
+	st, err := store.New(d.Nodes, d.Edges, ns, es, store.Config{
+		NumShards: 4, SamplingRate: base, Codec: bitutil.CodecAuto, AutoTuneAlpha: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := storeAdapter{st}
+	taoOps := workloads.GenerateOps(d, workloads.MixConfig{
+		Mix: workloads.TAOMix, AccessSkew: 1.4, Seed: 2403,
+	}, opts.Ops*4)
+	for _, op := range taoOps {
+		if _, err := workloads.Execute(g, op); err != nil {
+			return nil, err
+		}
+	}
+	reads := st.ShardReads()
+	if err := st.Compact(); err != nil {
+		return nil, err
+	}
+	alphas := st.TunedAlphas()
+	hot, cold := 0, 0
+	for p := range reads {
+		if reads[p] > reads[hot] {
+			hot = p
+		}
+		if reads[p] < reads[cold] {
+			cold = p
+		}
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"alpha auto-tune under Zipf TAO mix (base=%d): reads=%v -> alpha=%v", base, reads, alphas))
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"hottest partition %d: alpha %d (denser); coldest partition %d: alpha %d",
+		hot, alphas[hot], cold, alphas[cold]))
+	return r, nil
+}
+
+// codecMix summarizes how many regions landed on each codec across the
+// store's compressed fragments.
+func codecMix(st *store.Store) string {
+	counts := map[string]int{}
+	var names []string
+	for _, fc := range st.CodecReport() {
+		for _, rc := range fc.Regions {
+			if counts[rc.Codec] == 0 {
+				names = append(names, rc.Codec)
+			}
+			counts[rc.Codec]++
+		}
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, counts[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// codecRegionBytes sums the encoded bytes of every codec-managed region
+// across the store's compressed fragments.
+func codecRegionBytes(st *store.Store) int64 {
+	var total int64
+	for _, fc := range st.CodecReport() {
+		for _, rc := range fc.Regions {
+			total += int64(rc.Bytes)
+		}
+	}
+	return total
+}
+
+// storeBatteryAnswers is a fixed query battery's output, compared across
+// codec policies to prove encodings never change answers.
+type storeBatteryAnswers struct {
+	Props     [][]string
+	Neighbors [][]int64
+}
+
+func codecBattery(st *store.Store, firstID, n int64) storeBatteryAnswers {
+	var a storeBatteryAnswers
+	step := n/64 + 1
+	for id := firstID; id < firstID+n; id += step {
+		props, _ := st.GetNodeProps(id, nil)
+		a.Props = append(a.Props, props)
+		a.Neighbors = append(a.Neighbors, st.NeighborIDs(id, -1, nil))
+	}
+	return a
+}
+
+// throughputUnmediated measures ops/sec by wall clock only, for systems
+// whose storage is not routed through a simulated medium.
+func (s *System) throughputUnmediated(n int, fn func(i int)) float64 {
+	warm := n / 4
+	if warm > 500 {
+		warm = 500
+	}
+	for i := 0; i < warm; i++ {
+		fn(i)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(n) / elapsed.Seconds()
+}

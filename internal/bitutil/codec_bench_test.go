@@ -1,0 +1,115 @@
+package bitutil
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchCodecVals builds the Ψ-shaped monotone sequence the codecs are
+// tuned for: long runs of +1 deltas with occasional large jumps.
+func benchCodecVals(n int) []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]uint64, n)
+	var v uint64
+	for i := range vals {
+		if rng.Intn(64) == 0 {
+			v += uint64(rng.Intn(1 << 20))
+		} else {
+			v++
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+// BenchmarkCodecEncode measures per-codec encode cost — what the auto
+// policy's trial pass pays per candidate at build/compact time.
+func BenchmarkCodecEncode(b *testing.B) {
+	vals := benchCodecVals(1 << 14)
+	for _, c := range AllCodecs() {
+		b.Run(c.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if s := c.Encode(vals, true, 0); s == nil {
+					b.Fatal("encode declined")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodecGet measures random access per codec: the inner
+// operation of every Ψ step on the extract/search path.
+func BenchmarkCodecGet(b *testing.B) {
+	vals := benchCodecVals(1 << 14)
+	idx := make([]int, 1024)
+	rng := rand.New(rand.NewSource(7))
+	for i := range idx {
+		idx[i] = rng.Intn(len(vals))
+	}
+	for _, c := range AllCodecs() {
+		s := c.Encode(vals, true, 0)
+		b.Run(c.Name(), func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += s.Get(idx[i%len(idx)])
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkCodecDecodeBlock measures block decode per codec: the unit
+// the streaming cursor and the batch kernels' block cache consume.
+func BenchmarkCodecDecodeBlock(b *testing.B) {
+	vals := benchCodecVals(1 << 14)
+	blocks := len(vals) / SeqBlockSize
+	for _, c := range AllCodecs() {
+		s := c.Encode(vals, true, 0)
+		b.Run(c.Name(), func(b *testing.B) {
+			var blk [SeqBlockSize]uint64
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				s.DecodeBlockInto(i%blocks, &blk)
+				sink += blk[0]
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkCodecSearchGE measures the backward-search probe per codec.
+func BenchmarkCodecSearchGE(b *testing.B) {
+	vals := benchCodecVals(1 << 14)
+	last := vals[len(vals)-1]
+	rng := rand.New(rand.NewSource(9))
+	targets := make([]uint64, 1024)
+	for i := range targets {
+		targets[i] = uint64(rng.Int63n(int64(last)))
+	}
+	for _, c := range AllCodecs() {
+		s := c.Encode(vals, true, 0)
+		b.Run(c.Name(), func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += s.SearchGE(0, s.Len(), targets[i%len(targets)])
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkChooseCodec measures the full trial-and-select pass over
+// region sizes spanning small offset vectors to Ψ bucket blocks.
+func BenchmarkChooseCodec(b *testing.B) {
+	for _, n := range []int{1 << 8, 1 << 14} {
+		vals := benchCodecVals(n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if s, _ := ChooseCodec(vals, true, 0); s == nil {
+					b.Fatal("no codec chosen")
+				}
+			}
+		})
+	}
+}

@@ -339,55 +339,28 @@ func DecodeMonotoneVector(buf []byte) (*MonotoneVector, int, error) {
 	return mv, pos, nil
 }
 
-// MonotoneCursor streams a MonotoneVector: each block is decoded once
-// into a small buffer and then read by index, so a sequential pass costs
-// one delta decode per element instead of one delta re-sum per element.
-// A cursor is a value type — create with Cursor(), keep it on the stack.
-// Not safe for concurrent use (the underlying vector is).
-type MonotoneCursor struct {
-	mv    *MonotoneVector
-	block int // decoded block index, -1 = none
-	cnt   int // valid entries in vals
-	next  int // absolute index returned by the next Next call
-	vals  [monotoneBlock]uint64
+// Cursor returns a streaming cursor positioned at index 0. (Historically
+// this returned a MonotoneVector-specific cursor; the codec layer
+// generalized it to SeqCursor, which streams any Seq.)
+func (mv *MonotoneVector) Cursor() SeqCursor {
+	return NewSeqCursor(mv)
 }
 
-// Cursor returns a cursor positioned at index 0.
-func (mv *MonotoneVector) Cursor() MonotoneCursor {
-	return MonotoneCursor{mv: mv, block: -1}
-}
+// CodecID identifies the legacy hand-rolled packing.
+func (mv *MonotoneVector) CodecID() CodecID { return CodecLegacy }
 
-// Seek positions the cursor so the next Next call returns element i.
-// Seeking within the already-decoded block keeps the buffer.
-func (c *MonotoneCursor) Seek(i int) { c.next = i }
+// Monotone reports the monotone (delta) encoding layout.
+func (mv *MonotoneVector) Monotone() bool { return true }
 
-// Pos returns the absolute index the next Next call will return.
-func (c *MonotoneCursor) Pos() int { return c.next }
-
-// Next returns the element at the cursor and advances by one. The caller
-// must not read past Len()-1.
-func (c *MonotoneCursor) Next() uint64 {
-	v := c.At(c.next)
-	c.next++
-	return v
-}
-
-// At returns element i, decoding its block only if it is not the one
-// already buffered. The cursor position is unchanged.
-func (c *MonotoneCursor) At(i int) uint64 {
-	b := i / monotoneBlock
-	if b != c.block {
-		c.cnt = c.mv.decodeBlock(b, &c.vals)
-		c.block = b
+// DecodeAll appends every element to dst and returns it.
+func (mv *MonotoneVector) DecodeAll(dst []uint64) []uint64 {
+	var blk [monotoneBlock]uint64
+	nblocks := (mv.n + monotoneBlock - 1) / monotoneBlock
+	for b := 0; b < nblocks; b++ {
+		cnt := mv.decodeBlock(b, &blk)
+		dst = append(dst, blk[:cnt]...)
 	}
-	return c.vals[i-b*monotoneBlock]
-}
-
-// Buffered reports whether element i lies inside the currently decoded
-// block, i.e. whether At(i) would be served from the buffer without a
-// block decode. Batch kernels use this to observe cursor reuse.
-func (c *MonotoneCursor) Buffered(i int) bool {
-	return c.block >= 0 && i/monotoneBlock == c.block
+	return dst
 }
 
 // DecodeBlockInto expands block b into dst as absolute values and

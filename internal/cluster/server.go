@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"zipg/internal/bitutil"
 	"zipg/internal/graphapi"
 	"zipg/internal/layout"
 	"zipg/internal/memsim"
@@ -148,6 +149,11 @@ type ServerConfig struct {
 	Medium *memsim.Medium
 	// LogStoreThreshold triggers local LogStore rollover.
 	LogStoreThreshold int64
+	// Codec selects the store's region-codec policy (zero = auto).
+	Codec bitutil.CodecPolicy
+	// AutoTuneAlpha lets local compactions retune per-shard α from
+	// accumulated read counts.
+	AutoTuneAlpha bool
 }
 
 // Server is one ZipG cluster server: a partition store plus the
@@ -173,6 +179,8 @@ func NewServer(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema 
 		SamplingRate:      cfg.SamplingRate,
 		Medium:            cfg.Medium,
 		LogStoreThreshold: cfg.LogStoreThreshold,
+		Codec:             cfg.Codec,
+		AutoTuneAlpha:     cfg.AutoTuneAlpha,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: server %d: %w", cfg.ID, err)
@@ -181,6 +189,10 @@ func NewServer(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema 
 	s.rpc.SetServerID(cfg.ID) // serve spans report which server they ran on
 	s.registerHandlers()
 	s.registerMultiLevel()
+	// The admin mux serves this store's codec/α state at /debug/codecs.
+	telemetry.RegisterAdminReport("codecs", func() string {
+		return store.FormatCodecReport(st.CodecReport())
+	})
 	return s, nil
 }
 

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"zipg/internal/bitutil"
+	"zipg/internal/layout"
+	"zipg/internal/succinct"
+)
+
+// preCodecShardWire is shardWire as it existed before the codec layer:
+// EdgeFormat is present (PR "hot-field record headers") but none of the
+// codec fields are. Gob matches by name, so encoding it reproduces a
+// pre-codec archive, and decoding a modern all-legacy blob into it
+// proves the modern wire form is readable by pre-codec builds.
+type preCodecShardWire struct {
+	NodeStore    []byte
+	EdgeStore    []byte
+	NodeIDs      []int64
+	NodeOffsets  []int64
+	EdgeSrcs     []int64
+	EdgeIndex    []layout.EdgeRecordIndex
+	NodeSchema   layout.SchemaSpec
+	EdgeSchema   layout.SchemaSpec
+	RawNodeBytes int
+	RawEdgeBytes int
+	EdgeFormat   int
+}
+
+// checkShardsAgree asserts both shards answer node-property and edge
+// queries identically.
+func checkShardsAgree(t *testing.T, a, b *Shard, nodes []layout.Node) {
+	t.Helper()
+	for _, n := range nodes {
+		pa, oka := a.Nodes().GetAllProps(n.ID)
+		pb, okb := b.Nodes().GetAllProps(n.ID)
+		if oka != okb || !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("node %d: %v/%v vs %v/%v", n.ID, pa, oka, pb, okb)
+		}
+	}
+	for _, src := range a.EdgeSources() {
+		for etype := int64(0); etype < 2; etype++ {
+			ra, oka := a.Edges().GetEdgeRecord(src, etype)
+			rb, okb := b.Edges().GetEdgeRecord(src, etype)
+			if oka != okb {
+				t.Fatalf("record (%d,%d): %v vs %v", src, etype, oka, okb)
+			}
+			if !oka {
+				continue
+			}
+			if ra.Count != rb.Count {
+				t.Fatalf("record (%d,%d) counts: %d vs %d", src, etype, ra.Count, rb.Count)
+			}
+			for i := 0; i < ra.Count; i++ {
+				da, err1 := a.Edges().GetEdgeData(&ra, i)
+				db, err2 := b.Edges().GetEdgeData(&rb, i)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if !reflect.DeepEqual(da, db) {
+					t.Fatalf("record (%d,%d)[%d]: %+v vs %+v", src, etype, i, da, db)
+				}
+			}
+		}
+	}
+	offA, okA := a.EdgeRecordOffset(a.EdgeSources()[0], 0)
+	offB, okB := b.EdgeRecordOffset(a.EdgeSources()[0], 0)
+	if okA != okB || offA != offB {
+		t.Fatalf("EdgeRecordOffset diverged: %d/%v vs %d/%v", offA, okA, offB, okB)
+	}
+}
+
+// TestPreCodecShardArchiveLoads proves shard archives serialized before
+// the codec layer still load and answer identically: a gob blob built
+// from the pre-codec wire struct (legacy offsets, row-form edge index,
+// ZSUC1 succinct stores) must reconstruct a working shard.
+func TestPreCodecShardArchiveLoads(t *testing.T) {
+	fresh, nodes, edges := buildTestShard(t)
+
+	ns := fresh.Nodes().Schema()
+	es := fresh.Edges().Schema()
+	nodeFlat, ids, offs, err := layout.BuildNodeFile(nodes, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeFlat, edgeIndex, err := layout.BuildEdgeFileFormat(edges, es, layout.EdgeFormatHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy-codec stores marshal as ZSUC1 — byte-identical to pre-codec
+	// builds (asserted by the succinct-level serial tests).
+	opts := succinct.Options{SamplingRate: 4, Codec: bitutil.CodecForceLegacy}
+	w := preCodecShardWire{
+		NodeStore:    succinct.Build(nodeFlat, opts).MarshalBinary(),
+		EdgeStore:    succinct.Build(edgeFlat, opts).MarshalBinary(),
+		NodeIDs:      ids,
+		NodeOffsets:  offs,
+		EdgeSrcs:     distinctSources(edges),
+		EdgeIndex:    edgeIndex,
+		NodeSchema:   ns.Spec(),
+		EdgeSchema:   es.Spec(),
+		RawNodeBytes: len(nodeFlat),
+		RawEdgeBytes: len(edgeFlat),
+		EdgeFormat:   layout.EdgeFormatHot,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := UnmarshalShard(buf.Bytes(), nil)
+	if err != nil {
+		t.Fatalf("pre-codec archive failed to load: %v", err)
+	}
+	checkShardsAgree(t, fresh, loaded, nodes)
+}
+
+// TestLegacyShardWireIsPreCodecShape: a shard built with the forced
+// legacy codec must marshal into the exact gob shape pre-codec builds
+// wrote — every legacy field populated, no codec field present — so
+// old readers can load archives written by this build.
+func TestLegacyShardWireIsPreCodecShape(t *testing.T) {
+	ns := mustSchema(t, []string{"city", "name"})
+	es := mustSchema(t, []string{"w"})
+	_, nodes, edges := buildTestShard(t)
+	sh, err := Build(nodes, edges, ns, es, Options{SamplingRate: 4, Codec: bitutil.CodecForceLegacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding into the pre-codec struct sees all its fields; a blob
+	// that used the Enc fields would leave NodeOffsets/EdgeIndex empty.
+	var w preCodecShardWire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.NodeOffsets) == 0 || len(w.EdgeIndex) == 0 {
+		t.Fatalf("legacy shard marshaled without legacy fields (offsets=%d index=%d)",
+			len(w.NodeOffsets), len(w.EdgeIndex))
+	}
+	// And the full modern struct must see the codec fields nil.
+	var mw shardWire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&mw); err != nil {
+		t.Fatal(err)
+	}
+	if mw.NodeOffsetsEnc != nil || mw.EdgeIdxOffsEnc != nil {
+		t.Fatal("legacy shard carried codec-tagged fields")
+	}
+}
+
+// TestCodecShardRoundTrip: shards built under every policy round-trip
+// through Marshal/Unmarshal preserving codec identity and answers.
+func TestCodecShardRoundTrip(t *testing.T) {
+	ns := mustSchema(t, []string{"city", "name"})
+	es := mustSchema(t, []string{"w"})
+	_, nodes, edges := buildTestShard(t)
+	for _, policy := range []bitutil.CodecPolicy{
+		bitutil.CodecAuto, bitutil.CodecForceLegacy,
+		bitutil.CodecForceSimple8b, bitutil.CodecForceVarint,
+	} {
+		sh, err := Build(nodes, edges, ns, es, Options{SamplingRate: 4, Codec: policy})
+		if err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		blob, err := sh.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalShard(blob, nil)
+		if err != nil {
+			t.Fatalf("policy %v: unmarshal: %v", policy, err)
+		}
+		checkShardsAgree(t, sh, back, nodes)
+
+		// Region identity survives the round-trip.
+		want := map[string]string{}
+		for _, rc := range sh.CodecReport() {
+			want[rc.Region] = rc.Codec
+		}
+		for _, rc := range back.CodecReport() {
+			if want[rc.Region] != rc.Codec {
+				t.Errorf("policy %v region %s: codec %s after reload, want %s",
+					policy, rc.Region, rc.Codec, want[rc.Region])
+			}
+		}
+	}
+}
+
+func mustSchema(t *testing.T, ids []string) *layout.PropertySchema {
+	t.Helper()
+	s, err := layout.NewPropertySchema(ids, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"zipg/internal/bitutil"
 	"zipg/internal/layout"
 	"zipg/internal/memsim"
 	"zipg/internal/succinct"
@@ -29,6 +30,17 @@ type shardWire struct {
 	// fields zero, so shards serialized before the hot-field header
 	// decode to layout.EdgeFormatLegacy and keep parsing correctly.
 	EdgeFormat int
+	// Codec-layer fields. When NodeOffsetsEnc is non-nil it carries the
+	// codec-tagged node offset column and replaces NodeOffsets; when
+	// EdgeIdxOffsEnc is non-nil the three EdgeIdx* columns replace
+	// EdgeIndex. Pre-codec shards decode with these fields nil (gob
+	// default, like EdgeFormat) and load through the legacy fields; an
+	// all-legacy shard also marshals through the legacy fields, keeping
+	// its wire form identical to pre-codec builds.
+	NodeOffsetsEnc []byte
+	EdgeIdxSrcs    []int64
+	EdgeIdxTypes   []int64
+	EdgeIdxOffsEnc []byte
 }
 
 // MarshalBinary serializes the shard.
@@ -38,14 +50,24 @@ func (s *Shard) MarshalBinary() ([]byte, error) {
 		EdgeStore:    s.edgeStore.MarshalBinary(),
 		NodeIDs:      s.nodes.IDs(),
 		EdgeSrcs:     s.edgeSrcs,
-		EdgeIndex:    s.edgeIndex,
 		NodeSchema:   s.nodes.Schema().Spec(),
 		EdgeSchema:   s.edges.Schema().Spec(),
 		RawNodeBytes: s.rawNodeBytes,
 		RawEdgeBytes: s.rawEdgeBytes,
 		EdgeFormat:   s.edgeFormat,
 	}
-	w.NodeOffsets = s.nodes.Offsets()
+	nodeOffs := s.nodes.OffsetsSeq()
+	_, nodeLegacy := nodeOffs.(*bitutil.MonotoneVector)
+	_, edgeLegacy := s.edgeIdxOffs.(*bitutil.MonotoneVector)
+	if nodeLegacy && edgeLegacy {
+		w.NodeOffsets = s.nodes.Offsets()
+		w.EdgeIndex = s.edgeIndexSlice()
+	} else {
+		w.NodeOffsetsEnc = bitutil.AppendSeq(nil, nodeOffs)
+		w.EdgeIdxSrcs = s.edgeIdxSrcs
+		w.EdgeIdxTypes = s.edgeIdxTypes
+		w.EdgeIdxOffsEnc = bitutil.AppendSeq(nil, s.edgeIdxOffs)
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("core: marshal shard: %w", err)
@@ -68,14 +90,31 @@ func UnmarshalShard(data []byte, med *memsim.Medium) (*Shard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: edge schema: %w", err)
 	}
-	s := &Shard{rawNodeBytes: w.RawNodeBytes, rawEdgeBytes: w.RawEdgeBytes, edgeSrcs: w.EdgeSrcs, edgeIndex: w.EdgeIndex, edgeFormat: w.EdgeFormat}
+	s := &Shard{rawNodeBytes: w.RawNodeBytes, rawEdgeBytes: w.RawEdgeBytes, edgeSrcs: w.EdgeSrcs, edgeFormat: w.EdgeFormat}
 	if s.nodeStore, err = succinct.UnmarshalStore(w.NodeStore, med); err != nil {
 		return nil, fmt.Errorf("core: node store: %w", err)
 	}
 	if s.edgeStore, err = succinct.UnmarshalStore(w.EdgeStore, med); err != nil {
 		return nil, fmt.Errorf("core: edge store: %w", err)
 	}
-	s.nodes = layout.NewNodeFileView(s.nodeStore, nodeSchema, w.NodeIDs, w.NodeOffsets, med)
+	var nodeOffs bitutil.Seq
+	if w.NodeOffsetsEnc != nil {
+		if nodeOffs, _, err = bitutil.DecodeSeq(w.NodeOffsetsEnc); err != nil {
+			return nil, fmt.Errorf("core: node offsets: %w", err)
+		}
+	} else {
+		nodeOffs = layout.PackOffsets(w.NodeOffsets)
+	}
+	if w.EdgeIdxOffsEnc != nil {
+		s.edgeIdxSrcs = w.EdgeIdxSrcs
+		s.edgeIdxTypes = w.EdgeIdxTypes
+		if s.edgeIdxOffs, _, err = bitutil.DecodeSeq(w.EdgeIdxOffsEnc); err != nil {
+			return nil, fmt.Errorf("core: edge index offsets: %w", err)
+		}
+	} else {
+		s.setEdgeIndex(w.EdgeIndex, bitutil.CodecForceLegacy)
+	}
+	s.nodes = layout.NewNodeFileViewSeq(s.nodeStore, nodeSchema, w.NodeIDs, nodeOffs, med)
 	s.edges = layout.NewEdgeFileViewFormat(s.edgeStore, edgeSchema, s.edgeFormat)
 	return s, nil
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"zipg/internal/bitutil"
 	"zipg/internal/layout"
 	"zipg/internal/memsim"
 	"zipg/internal/parallel"
@@ -22,6 +23,10 @@ type Options struct {
 	// Medium is the simulated storage for this shard's structures
 	// (nil = unlimited).
 	Medium *memsim.Medium
+	// Codec selects how each region's integer codec is chosen (Ψ and
+	// sample arrays in the succinct stores, plus the NodeFile and
+	// EdgeFile offset columns). Zero value = bitutil.CodecAuto.
+	Codec bitutil.CodecPolicy
 }
 
 // Shard is one immutable graph partition in ZipG layout over compressed
@@ -38,13 +43,23 @@ type Shard struct {
 	// frozen from a LogStore may hold edges for sources whose node
 	// records live in other fragments).
 	edgeSrcs []layout.NodeID
-	// edgeIndex lists every edge record's key and offset in file order
-	// (used by edge-property search and by batch reads, which locate
-	// records by binary search here instead of compressed search).
-	edgeIndex []layout.EdgeRecordIndex
+	// The edge record index lists every record's key and offset in file
+	// order (used by edge-property search and by batch reads, which
+	// locate records by binary search here instead of compressed
+	// search). Stored as columns: the key columns stay raw for the
+	// binary search, while the offset column — strictly increasing — is
+	// a codec region like the NodeFile offsets.
+	edgeIdxSrcs  []layout.NodeID
+	edgeIdxTypes []layout.EdgeType
+	edgeIdxOffs  bitutil.Seq
 	// edgeFormat is the EdgeFile record format (layout.EdgeFormat*);
 	// shards deserialized from pre-hot-header builds carry Legacy.
 	edgeFormat int
+
+	// Trial measurements that chose the offset-column codecs (empty for
+	// forced policies and loaded shards).
+	nodeOffTrials []bitutil.TrialResult
+	edgeIdxTrials []bitutil.TrialResult
 
 	rawNodeBytes int
 	rawEdgeBytes int
@@ -63,7 +78,7 @@ func Build(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *lay
 	if err != nil {
 		return nil, fmt.Errorf("core: edge file: %w", err)
 	}
-	succOpts := succinct.Options{SamplingRate: opts.SamplingRate, Medium: opts.Medium}
+	succOpts := succinct.Options{SamplingRate: opts.SamplingRate, Medium: opts.Medium, Codec: opts.Codec}
 	// The NodeFile and EdgeFile suffix arrays are independent; build them
 	// concurrently on the shared pool (each Build stays sequential inside).
 	stores := parallel.Map("core.build_succinct", 2, func(i int) *succinct.Store {
@@ -76,14 +91,42 @@ func Build(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *lay
 		nodeStore:    stores[0],
 		edgeStore:    stores[1],
 		edgeSrcs:     distinctSources(edges),
-		edgeIndex:    edgeIndex,
 		edgeFormat:   layout.EdgeFormatHot,
 		rawNodeBytes: len(nodeFlat),
 		rawEdgeBytes: len(edgeFlat),
 	}
-	s.nodes = layout.NewNodeFileView(s.nodeStore, nodeSchema, ids, offs, opts.Medium)
+	s.setEdgeIndex(edgeIndex, opts.Codec)
+	succinct.CountCodecRegion(s.edgeIdxOffs)
+	var nodeOffs bitutil.Seq
+	nodeOffs, s.nodeOffTrials = bitutil.EncodeWithPolicy(layout.OffsetsToUint64(offs), true, 0, opts.Codec)
+	succinct.CountCodecRegion(nodeOffs)
+	s.nodes = layout.NewNodeFileViewSeq(s.nodeStore, nodeSchema, ids, nodeOffs, opts.Medium)
 	s.edges = layout.NewEdgeFileViewFormat(s.edgeStore, edgeSchema, s.edgeFormat)
 	return s, nil
+}
+
+// setEdgeIndex splits the build-time edge record index into its key
+// columns and the codec-encoded offset column.
+func (s *Shard) setEdgeIndex(index []layout.EdgeRecordIndex, policy bitutil.CodecPolicy) {
+	s.edgeIdxSrcs = make([]layout.NodeID, len(index))
+	s.edgeIdxTypes = make([]layout.EdgeType, len(index))
+	offVals := make([]uint64, len(index))
+	for i, r := range index {
+		s.edgeIdxSrcs[i] = r.Src
+		s.edgeIdxTypes[i] = r.Type
+		offVals[i] = uint64(r.Offset)
+	}
+	s.edgeIdxOffs, s.edgeIdxTrials = bitutil.EncodeWithPolicy(offVals, true, 0, policy)
+}
+
+// edgeIndexSlice materializes the columnar edge record index back into
+// row form (the whole-file scans that want rows are already O(records)).
+func (s *Shard) edgeIndexSlice() []layout.EdgeRecordIndex {
+	out := make([]layout.EdgeRecordIndex, len(s.edgeIdxSrcs))
+	for i := range out {
+		out[i] = layout.EdgeRecordIndex{Src: s.edgeIdxSrcs[i], Type: s.edgeIdxTypes[i], Offset: int64(s.edgeIdxOffs.Get(i))}
+	}
+	return out
 }
 
 // Nodes returns the shard's NodeFile view.
@@ -111,24 +154,26 @@ func (s *Shard) EdgeSources() []layout.NodeID { return s.edgeSrcs }
 // EdgeFormat returns the shard's EdgeFile record format.
 func (s *Shard) EdgeFormat() int { return s.edgeFormat }
 
+// SamplingRate returns the α the shard's succinct stores were built with.
+func (s *Shard) SamplingRate() int { return s.nodeStore.SamplingRate() }
+
 // EdgeRecordOffset locates the (src, etype) record's start offset via
 // binary search over the in-memory build index — O(log records) with no
 // compressed-store work, where GetEdgeRecord pays a full backward
 // search. The batch read paths use this to turn record location into
 // pure arithmetic before the sorted sweep.
 func (s *Shard) EdgeRecordOffset(src layout.NodeID, etype layout.EdgeType) (int64, bool) {
-	idx := s.edgeIndex
-	lo, hi := 0, len(idx)
+	lo, hi := 0, len(s.edgeIdxSrcs)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if idx[mid].Src < src || (idx[mid].Src == src && idx[mid].Type < etype) {
+		if s.edgeIdxSrcs[mid] < src || (s.edgeIdxSrcs[mid] == src && s.edgeIdxTypes[mid] < etype) {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(idx) && idx[lo].Src == src && idx[lo].Type == etype {
-		return idx[lo].Offset, true
+	if lo < len(s.edgeIdxSrcs) && s.edgeIdxSrcs[lo] == src && s.edgeIdxTypes[lo] == etype {
+		return int64(s.edgeIdxOffs.Get(lo)), true
 	}
 	return 0, false
 }
@@ -136,7 +181,25 @@ func (s *Shard) EdgeRecordOffset(src layout.NodeID, etype layout.EdgeType) (int6
 // FindEdges returns the edges in this shard whose property lists match
 // every pair exactly — the edge-search extension of §3.3.
 func (s *Shard) FindEdges(props map[string]string) []layout.EdgeMatch {
-	return s.edges.FindEdges(s.edgeIndex, props)
+	return s.edges.FindEdges(s.edgeIndexSlice(), props)
+}
+
+// CodecReport describes every codec-encoded region of the shard: the
+// two succinct stores' Ψ/SA/ISA regions plus the NodeFile and EdgeFile
+// offset columns, with per-region codec, size and measured decode speed.
+func (s *Shard) CodecReport() []succinct.RegionCodec {
+	var out []succinct.RegionCodec
+	for _, rc := range s.nodeStore.RegionCodecs() {
+		rc.Region = "node/" + rc.Region
+		out = append(out, rc)
+	}
+	for _, rc := range s.edgeStore.RegionCodecs() {
+		rc.Region = "edge/" + rc.Region
+		out = append(out, rc)
+	}
+	out = append(out, succinct.SeqRegionCodec("node/offsets", s.nodes.OffsetsSeq(), s.nodeOffTrials))
+	out = append(out, succinct.SeqRegionCodec("edge/index", s.edgeIdxOffs, s.edgeIdxTrials))
+	return out
 }
 
 // distinctSources extracts the sorted distinct edge sources.

@@ -37,7 +37,7 @@ func (v *NodeFileView) GetPropertiesBatch(ids []NodeID, propertyIDs []string) ([
 	back := make([]int, 0, len(ids))
 	for i, id := range ids {
 		if k := v.indexOf(id); k >= 0 {
-			offs = append(offs, int(v.offsets[k]))
+			offs = append(offs, int(v.offs.Get(k)))
 			back = append(back, i)
 		}
 	}

@@ -49,30 +49,62 @@ func BuildNodeFile(nodes []Node, schema *PropertySchema) (flat []byte, ids []Nod
 // The same view works over a compressed succinct source (immutable
 // shards) or raw bytes (LogStore).
 type NodeFileView struct {
-	src     ByteSource
-	schema  *PropertySchema
-	ids     []NodeID
-	offsets []int64
+	src    ByteSource
+	schema *PropertySchema
+	ids    []NodeID
+	// offs holds the per-record start offsets codec-encoded: record
+	// starts ascend monotonically, so the column compresses from 8
+	// bytes/node to roughly its delta entropy. Which codec is chosen at
+	// shard build time (core trial-encodes under the configured policy);
+	// views built from raw []int64 offsets use the legacy packing.
+	offs bitutil.Seq
 
 	med *memsim.Medium
 	reg uint32 // region for the (NodeID, offset) index
 }
 
 // NewNodeFileView wraps a serialized NodeFile. ids/offsets must be
-// parallel and sorted by ID. The index's footprint is charged to med
-// (nil = unlimited).
+// parallel and sorted by ID (which makes offsets non-decreasing). The
+// index's footprint is charged to med (nil = unlimited).
 func NewNodeFileView(src ByteSource, schema *PropertySchema, ids []NodeID, offsets []int64, med *memsim.Medium) *NodeFileView {
+	return NewNodeFileViewSeq(src, schema, ids, PackOffsets(offsets), med)
+}
+
+// NewNodeFileViewSeq is NewNodeFileView over an already codec-encoded
+// offset column (the shard build and load paths, which choose the codec
+// by policy).
+func NewNodeFileViewSeq(src ByteSource, schema *PropertySchema, ids []NodeID, offs bitutil.Seq, med *memsim.Medium) *NodeFileView {
 	if med == nil {
 		med = memsim.Unlimited()
 	}
 	return &NodeFileView{
-		src:     src,
-		schema:  schema,
-		ids:     ids,
-		offsets: offsets,
-		med:     med,
-		reg:     med.Register(int64(len(ids)) * 16),
+		src:    src,
+		schema: schema,
+		ids:    ids,
+		offs:   offs,
+		med:    med,
+		// The index charge stays at the historical 16 bytes/node so
+		// medium-pressure experiments remain comparable across codecs;
+		// the Go-heap saving from the encoded column is real either way.
+		reg: med.Register(int64(len(ids)) * 16),
 	}
+}
+
+// PackOffsets encodes a record-offset column (non-decreasing) with the
+// legacy codec — the deterministic default for views not built through
+// a codec policy.
+func PackOffsets(offsets []int64) bitutil.Seq {
+	legacy, _ := bitutil.CodecByID(bitutil.CodecLegacy)
+	return legacy.Encode(OffsetsToUint64(offsets), true, 0)
+}
+
+// OffsetsToUint64 converts an offset column for codec encoding.
+func OffsetsToUint64(offsets []int64) []uint64 {
+	vals := make([]uint64, len(offsets))
+	for i, o := range offsets {
+		vals[i] = uint64(o)
+	}
+	return vals
 }
 
 // NumNodes returns the number of nodes in the file.
@@ -84,8 +116,18 @@ func (v *NodeFileView) Schema() *PropertySchema { return v.schema }
 // IDs returns the sorted node IDs backing the view.
 func (v *NodeFileView) IDs() []NodeID { return v.ids }
 
-// Offsets returns the per-node record offsets parallel to IDs.
-func (v *NodeFileView) Offsets() []int64 { return v.offsets }
+// Offsets materializes the per-node record offsets parallel to IDs.
+func (v *NodeFileView) Offsets() []int64 {
+	out := make([]int64, 0, v.offs.Len())
+	for _, u := range v.offs.DecodeAll(make([]uint64, 0, v.offs.Len())) {
+		out = append(out, int64(u))
+	}
+	return out
+}
+
+// OffsetsSeq returns the codec-encoded offset column (for serialization
+// and codec reports).
+func (v *NodeFileView) OffsetsSeq() bitutil.Seq { return v.offs }
 
 // Contains reports whether the file holds a record for id.
 func (v *NodeFileView) Contains(id NodeID) bool { return v.indexOf(id) >= 0 }
@@ -118,7 +160,7 @@ func (v *NodeFileView) GetProperty(id NodeID, propertyID string) (string, bool) 
 	sc := getScratch()
 	defer putScratch(sc)
 	hs := v.schema.headerSize()
-	w := newRecWalk(v.src, int(v.offsets[k]))
+	w := newRecWalk(v.src, int(v.offs.Get(k)))
 	sc.buf = w.appendN(sc.buf[:0], hs)
 	if len(sc.buf) < hs {
 		return "", false
@@ -145,7 +187,7 @@ func (v *NodeFileView) GetProperties(id NodeID, propertyIDs []string) ([]string,
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	w := newRecWalk(v.src, int(v.offsets[k]))
+	w := newRecWalk(v.src, int(v.offs.Get(k)))
 	return v.propsFromWalk(&w, propertyIDs, sc)
 }
 
@@ -234,7 +276,7 @@ func (v *NodeFileView) FindNodes(props map[string]string) []NodeID {
 		matches := v.src.Search(pattern)
 		ids := make(map[NodeID]bool, len(matches))
 		for _, off := range matches {
-			k := offsetToIndex(v.offsets, off)
+			k := seqOffsetToIndex(v.offs, off)
 			v.med.Access(v.reg, int64(k)*16, 16)
 			if k >= 0 {
 				ids[v.ids[k]] = true

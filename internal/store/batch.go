@@ -58,6 +58,7 @@ func (s *Store) getNodePropsBatch(ids []layout.NodeID, propertyIDs []string) ([]
 			continue
 		}
 		p := s.partitionOf(id)
+		s.noteRead(p)
 		groups[p] = append(groups[p], i)
 	}
 	s.mu.RUnlock()
@@ -184,6 +185,7 @@ func (s *Store) AssocRangeBatch(reqs []AssocRangeReq) ([][]layout.EdgeData, erro
 			continue
 		}
 		p := s.partitionOf(req.ID)
+		s.noteRead(p)
 		sh := s.primaries[p]
 		if len(s.deletedPhys[shardEdgeRef{sh, req.ID, req.Type}]) > 0 {
 			slow = append(slow, i)

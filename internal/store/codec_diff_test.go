@@ -1,0 +1,248 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"zipg/internal/bitutil"
+	"zipg/internal/graphapi"
+	"zipg/internal/layout"
+	"zipg/internal/telemetry"
+)
+
+// buildFragmentedStore builds a store under the given α and codec
+// policy, then fragments it: appends force LogStore rollovers, updates
+// create fanned pointers, and node plus edge deletes leave lazy marks.
+// The mutation sequence is deterministic so every (α, policy) store
+// holds the same logical graph.
+func buildFragmentedStore(t *testing.T, alpha int, policy bitutil.CodecPolicy) *Store {
+	t.Helper()
+	ns, es := testSchemas(t)
+	nodes, edges := testGraph(60, 240, 3)
+	s, err := New(nodes, edges, ns, es, Config{
+		NumShards:         3,
+		SamplingRate:      alpha,
+		LogStoreThreshold: 2 << 10, // tiny: force rollovers
+		Codec:             policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		id := int64(i * 2)
+		if err := s.AppendNode(id, map[string]string{
+			"age": fmt.Sprint(90 + i), "location": "Madison", "name": fmt.Sprintf("upd%d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AppendEdge(layout.Edge{
+			Src: id, Dst: int64((i * 5) % 60), Type: 1, Timestamp: int64(20000 + i),
+			Props: map[string]string{"weight": fmt.Sprint(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		s.DeleteNode(int64(i*7 + 1))
+	}
+	for _, e := range edges[:20] {
+		s.DeleteEdges(e.Src, e.Type, e.Dst)
+	}
+	if s.Rollovers() == 0 {
+		t.Fatal("test store failed to fragment (no rollovers)")
+	}
+	return s
+}
+
+// storeAnswers captures one store's answers to a fixed query battery.
+type storeAnswers struct {
+	props     [][]string
+	oks       []bool
+	neighbors [][]layout.NodeID
+	finds     [][]layout.NodeID
+	edges     []int
+}
+
+func queryBattery(t *testing.T, s *Store) storeAnswers {
+	t.Helper()
+	var a storeAnswers
+	for id := int64(0); id < 60; id++ {
+		vals, ok := s.GetNodeProps(id, nil)
+		a.props = append(a.props, vals)
+		a.oks = append(a.oks, ok)
+		a.neighbors = append(a.neighbors, s.NeighborIDs(id, graphapi.WildcardType, nil))
+	}
+	for _, city := range []string{"Ithaca", "Berkeley", "Madison", "nowhere"} {
+		a.finds = append(a.finds, s.FindNodes(map[string]string{"location": city}))
+	}
+	for w := 0; w < 5; w++ {
+		a.edges = append(a.edges, len(s.FindEdges(map[string]string{"weight": fmt.Sprint(w)})))
+	}
+	return a
+}
+
+// TestCodecAlphaDifferential is the store-level differential suite: a
+// fragmented store (rollovers, fanned updates, node and edge deletes)
+// must answer an identical query battery under every α ∈ {4, 8, 32} ×
+// codec policy, and again (against a post-compaction reference, since
+// compaction legitimately changes what lazy deletion marks hide) after
+// Compact. The first build is the reference — codecs and sampling
+// never change answers.
+func TestCodecAlphaDifferential(t *testing.T) {
+	policies := []bitutil.CodecPolicy{
+		bitutil.CodecForceLegacy, bitutil.CodecAuto,
+		bitutil.CodecForceSimple8b, bitutil.CodecForceVarint,
+	}
+	var ref, refAfter *storeAnswers
+	for _, alpha := range []int{4, 8, 32} {
+		for _, policy := range policies {
+			s := buildFragmentedStore(t, alpha, policy)
+			got := queryBattery(t, s)
+			if ref == nil {
+				ref = &got
+			} else if !reflect.DeepEqual(*ref, got) {
+				t.Fatalf("alpha=%d policy=%v: answers diverged from reference", alpha, policy)
+			}
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			after := queryBattery(t, s)
+			if refAfter == nil {
+				refAfter = &after
+			} else if !reflect.DeepEqual(*refAfter, after) {
+				t.Fatalf("alpha=%d policy=%v: answers diverged after compaction", alpha, policy)
+			}
+		}
+	}
+}
+
+// TestCodecPersistDifferential: a fragmented codec store survives
+// Save/Load with identical answers.
+func TestCodecPersistDifferential(t *testing.T) {
+	s := buildFragmentedStore(t, 8, bitutil.CodecAuto)
+	want := queryBattery(t, s)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := queryBattery(t, back); !reflect.DeepEqual(want, got) {
+		t.Fatal("answers diverged across Save/Load")
+	}
+}
+
+// TestAutoTuneAlphaLadder drives a skewed read mix at a multi-shard
+// store and checks Compact's α ladder: the hottest partition must end
+// up sampling denser (smaller α) than base, a cold partition sparser
+// (larger α), and answers must be unchanged throughout.
+func TestAutoTuneAlphaLadder(t *testing.T) {
+	ns, es := testSchemas(t)
+	nodes, edges := testGraph(64, 200, 5)
+	const numShards, base = 4, 32
+	s, err := New(nodes, edges, ns, es, Config{
+		NumShards:     numShards,
+		SamplingRate:  base,
+		AutoTuneAlpha: true,
+		Codec:         bitutil.CodecAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition the IDs the same way the store does, then read partition
+	// 0's nodes heavily (a Zipf-like hot set) and leave one partition
+	// completely cold.
+	byPart := make([][]int64, numShards)
+	for id := int64(0); id < 64; id++ {
+		p := int(layout.IDHash(id) % numShards)
+		byPart[p] = append(byPart[p], id)
+	}
+	for i := 0; i < 400; i++ {
+		for _, id := range byPart[0] {
+			s.GetNodeProps(id, nil)
+		}
+	}
+	for _, id := range byPart[1] {
+		s.GetNodeProps(id, nil) // one touch: well under fair share
+	}
+
+	reads := s.ShardReads()
+	if reads[0] == 0 {
+		t.Fatal("hot partition recorded no reads")
+	}
+	want := queryBattery(t, s)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	alphas := s.TunedAlphas()
+	if len(alphas) != numShards {
+		t.Fatalf("TunedAlphas = %v", alphas)
+	}
+	if alphas[0] >= base {
+		t.Errorf("hot partition alpha = %d, want denser than base %d", alphas[0], base)
+	}
+	for p := 1; p < numShards; p++ {
+		if alphas[p] <= base && p != 0 {
+			t.Errorf("cold partition %d alpha = %d, want sparser than base %d", p, alphas[p], base)
+		}
+	}
+	// The rebuilt shards really carry the tuned rates, and read
+	// counters reset for the next cycle.
+	for i, fc := range s.CodecReport()[:numShards] {
+		if fc.Alpha != alphas[i] {
+			t.Errorf("shard %d built with alpha %d, tuned %d", i, fc.Alpha, alphas[i])
+		}
+	}
+	for p, r := range s.ShardReads() {
+		if r != 0 {
+			t.Errorf("partition %d read counter = %d after compact, want 0", p, r)
+		}
+	}
+	if got := queryBattery(t, s); !reflect.DeepEqual(want, got) {
+		t.Fatal("answers changed across auto-tuned compaction")
+	}
+	// Without auto-tuning the same skew leaves every partition at base.
+	s2, err := New(nodes, edges, ns, es, Config{NumShards: numShards, SamplingRate: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for p, a := range s2.TunedAlphas() {
+		if a != base {
+			t.Errorf("untuned partition %d alpha = %d, want %d", p, a, base)
+		}
+	}
+}
+
+// TestCodecMetricNames locks the codec- and α-tuning metric names into
+// the default registry's exposition so renames fail CI (the same lock
+// style as the telemetry package's TestTraceMetricNames). The store
+// package links in the succinct codec counters, so both families are
+// registered by init.
+func TestCodecMetricNames(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	expo := telemetry.Default.Expose()
+	for _, want := range []string{
+		"zipg_codec_regions_total",
+		"zipg_codec_bytes_total",
+		"zipg_codec_trial_ns_total",
+		"zipg_alpha_tuned_total",
+		`codec="legacy"`,
+		`codec="simple8b"`,
+		`codec="varint"`,
+		`dir="denser"`,
+		`dir="sparser"`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"zipg/internal/layout"
 	"zipg/internal/logstore"
 	"zipg/internal/parallel"
+	"zipg/internal/succinct"
 	"zipg/internal/telemetry"
 )
 
@@ -44,12 +45,13 @@ func (s *Store) Compact() error {
 		p := s.partitionOf(e.Src)
 		partEdges[p] = append(partEdges[p], e)
 	}
-	opts := core.Options{SamplingRate: s.cfg.SamplingRate, Medium: s.cfg.Medium}
+	alphas := s.tuneAlphasLocked()
 	// The fresh shards are independent, so their suffix-array builds fan
 	// out over the shared pool; none of them touches s.mu, so holding the
 	// write lock here is safe.
 	fresh, err := parallel.MapErr("store.compact_shards", s.cfg.NumShards, func(p int) (*core.Shard, error) {
-		sh, err := core.Build(partNodes[p], partEdges[p], s.nodeSchema, s.edgeSchema, opts)
+		sh, err := core.Build(partNodes[p], partEdges[p], s.nodeSchema, s.edgeSchema,
+			core.Options{SamplingRate: alphas[p], Medium: s.cfg.Medium, Codec: s.cfg.Codec})
 		if err != nil {
 			return nil, fmt.Errorf("store: compact shard %d: %w", p, err)
 		}
@@ -60,12 +62,65 @@ func (s *Store) Compact() error {
 	}
 
 	s.primaries = fresh
+	s.tunedAlpha = alphas
+	for p := range s.shardReads {
+		s.shardReads[p].Store(0)
+	}
 	s.frozen = nil
 	s.log = logstore.New(s.nodeSchema, s.edgeSchema, s.cfg.Medium, 0)
 	s.ptrs = make(map[layout.NodeID][]int)
 	s.deletedNodes = make(map[layout.NodeID]bool)
 	s.deletedPhys = make(map[shardEdgeRef]map[int]bool)
 	return nil
+}
+
+// tuneAlphasLocked picks each partition's sampling rate α for the next
+// shard generation. Without AutoTuneAlpha (or before any reads) every
+// partition keeps the configured base α. With it, partitions are graded
+// against their fair share of the reads accumulated since the last
+// compaction: a partition drawing ≥2× its fair share samples 4× denser
+// (α/4 — random access there is latency-critical), one merely above fair
+// samples 2× denser, and one below half its fair share compresses 2×
+// harder (2α) — trading cold-shard latency nobody observes for space,
+// the α knob of §3.2 turned per shard instead of globally. α is clamped
+// to [4, 128]. Callers hold s.mu.
+func (s *Store) tuneAlphasLocked() []int {
+	base := s.cfg.SamplingRate
+	if base <= 0 {
+		base = succinct.DefaultSamplingRate
+	}
+	alphas := make([]int, s.cfg.NumShards)
+	for p := range alphas {
+		alphas[p] = base
+	}
+	if !s.cfg.AutoTuneAlpha {
+		return alphas
+	}
+	var total int64
+	for p := range s.shardReads {
+		total += s.shardReads[p].Load()
+	}
+	if total == 0 {
+		return alphas
+	}
+	fair := float64(total) / float64(s.cfg.NumShards)
+	for p := range alphas {
+		reads := float64(s.shardReads[p].Load())
+		switch {
+		case reads >= 2*fair:
+			alphas[p] = max(4, base/4)
+			mAlphaDenser.Inc()
+		case reads > fair:
+			alphas[p] = max(4, base/2)
+			mAlphaDenser.Inc()
+		case reads < fair/2:
+			alphas[p] = min(128, base*2)
+			mAlphaSparser.Inc()
+		default:
+			mAlphaBase.Inc()
+		}
+	}
+	return alphas
 }
 
 // materializeLocked reconstructs the live logical graph: every live

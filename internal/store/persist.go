@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"zipg/internal/core"
 	"zipg/internal/layout"
@@ -141,6 +142,7 @@ func Load(r io.Reader, med *memsim.Medium) (*Store, error) {
 		ptrs:         wire.Ptrs,
 		deletedNodes: make(map[layout.NodeID]bool, len(wire.DeletedNodes)),
 		deletedPhys:  make(map[shardEdgeRef]map[int]bool),
+		shardReads:   make([]atomic.Int64, wire.NumShards),
 		rollovers:    wire.Rollovers,
 	}
 	if s.cfg.LogStoreThreshold <= 0 {

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"zipg/internal/bitutil"
 	"zipg/internal/core"
 	"zipg/internal/layout"
 	"zipg/internal/logstore"
@@ -43,6 +45,13 @@ type Config struct {
 	// following update pointers — the strawman §3.5 argues against.
 	// Exists only for the ablation benchmark.
 	DisableFannedUpdates bool
+	// Codec selects how shard regions (Ψ, SA/ISA samples, offset
+	// columns) pick their integer codec. Zero value = bitutil.CodecAuto.
+	Codec bitutil.CodecPolicy
+	// AutoTuneAlpha lets Compact retune each partition's sampling rate α
+	// from its accumulated read counts: hot partitions get denser
+	// samples (faster random access), cold ones compress harder.
+	AutoTuneAlpha bool
 }
 
 type shardEdgeRef struct {
@@ -67,6 +76,15 @@ type Store struct {
 	deletedNodes map[layout.NodeID]bool
 	deletedPhys  map[shardEdgeRef]map[int]bool // lazily deleted edges in shards
 
+	// shardReads counts reads routed to each primary partition since
+	// the last compaction — the per-shard heat signal Compact's α
+	// auto-tuner consumes (and then resets). Atomic so the lock-free
+	// read paths can bump them.
+	shardReads []atomic.Int64
+	// tunedAlpha records the per-partition α the last compaction chose
+	// (nil until an auto-tuned compaction has run).
+	tunedAlpha []int
+
 	rollovers int
 }
 
@@ -86,6 +104,7 @@ func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layou
 		ptrs:         make(map[layout.NodeID][]int),
 		deletedNodes: make(map[layout.NodeID]bool),
 		deletedPhys:  make(map[shardEdgeRef]map[int]bool),
+		shardReads:   make([]atomic.Int64, cfg.NumShards),
 	}
 
 	partNodes := make([][]layout.Node, cfg.NumShards)
@@ -99,7 +118,7 @@ func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layou
 		p := s.partitionOf(e.Src)
 		partEdges[p] = append(partEdges[p], e)
 	}
-	opts := core.Options{SamplingRate: cfg.SamplingRate, Medium: cfg.Medium}
+	opts := core.Options{SamplingRate: cfg.SamplingRate, Medium: cfg.Medium, Codec: cfg.Codec}
 	// Independent shards compress concurrently (each suffix-array build
 	// stays sequential internally); the paper builds one shard per core.
 	shards, err := parallel.MapErr("store.build_shards", cfg.NumShards, func(p int) (*core.Shard, error) {
@@ -123,6 +142,11 @@ func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layou
 func (s *Store) partitionOf(id layout.NodeID) int {
 	return int(layout.IDHash(id) % uint32(s.cfg.NumShards))
 }
+
+// noteRead attributes one read to a node's primary partition. The
+// counters feed Compact's α auto-tuner; one atomic add keeps the read
+// paths lock-free.
+func (s *Store) noteRead(p int) { s.shardReads[p].Add(1) }
 
 // NodeSchema returns the node property schema.
 func (s *Store) NodeSchema() *layout.PropertySchema { return s.nodeSchema }
@@ -235,7 +259,9 @@ func (s *Store) DeleteEdges(src layout.NodeID, etype layout.EdgeType, dst layout
 // pointers name (or, with fanned updates disabled, every frozen
 // fragment). Callers hold s.mu.
 func (s *Store) fragmentsOfLocked(id layout.NodeID) []*core.Shard {
-	out := []*core.Shard{s.primaries[s.partitionOf(id)]}
+	p := s.partitionOf(id)
+	s.noteRead(p)
+	out := []*core.Shard{s.primaries[p]}
 	if s.cfg.DisableFannedUpdates {
 		return append(out, s.frozen...)
 	}
@@ -256,7 +282,7 @@ func (s *Store) maybeRolloverLocked() error {
 	tm := telemetry.StartTimer()
 	nodes, edges := s.log.Contents()
 	sh, err := core.Build(nodes, edges, s.nodeSchema, s.edgeSchema,
-		core.Options{SamplingRate: s.cfg.SamplingRate, Medium: s.cfg.Medium})
+		core.Options{SamplingRate: s.cfg.SamplingRate, Medium: s.cfg.Medium, Codec: s.cfg.Codec})
 	if err != nil {
 		return fmt.Errorf("store: rollover: %w", err)
 	}
@@ -383,6 +409,7 @@ func (s *Store) GetNodePropsCtx(ctx context.Context, id layout.NodeID, propertyI
 }
 
 func (s *Store) getNodeProps(id layout.NodeID, propertyIDs []string, sp *telemetry.Span) ([]string, bool) {
+	s.noteRead(s.partitionOf(id))
 	s.mu.RLock()
 	if s.deletedNodes[id] {
 		s.mu.RUnlock()

@@ -1,0 +1,72 @@
+package succinct
+
+import (
+	"bytes"
+	"testing"
+
+	"zipg/internal/bitutil"
+)
+
+// TestSerialV1ForLegacyCodec locks the serial-format versioning: a
+// store whose regions all use the legacy codec marshals as ZSUC1 —
+// byte-identical to pre-codec builds — while any non-legacy region
+// switches the container to ZSUC2. Both load and answer identically.
+func TestSerialV1ForLegacyCodec(t *testing.T) {
+	text := bytes.Repeat([]byte("abracadabra$kalamazoo|"), 40)
+
+	legacy := Build(text, Options{SamplingRate: 8, Codec: bitutil.CodecForceLegacy})
+	blob := legacy.MarshalBinary()
+	if !bytes.HasPrefix(blob, []byte(serialMagic)) {
+		t.Fatalf("legacy-codec store marshaled with magic %q, want %q", blob[:6], serialMagic)
+	}
+
+	varint := Build(text, Options{SamplingRate: 8, Codec: bitutil.CodecForceVarint})
+	vblob := varint.MarshalBinary()
+	if !bytes.HasPrefix(vblob, []byte(serialMagicV2)) {
+		t.Fatalf("varint-codec store marshaled with magic %q, want %q", vblob[:6], serialMagicV2)
+	}
+
+	for _, blob := range [][]byte{blob, vblob} {
+		got, err := UnmarshalStore(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Extract(0, len(text)), text) {
+			t.Fatal("reloaded store extracts different bytes")
+		}
+		if w, g := legacy.Count([]byte("abra")), got.Count([]byte("abra")); g != w {
+			t.Fatalf("reloaded Count = %d, want %d", g, w)
+		}
+	}
+}
+
+// TestCodecQueryEquivalence: the same text built under every codec
+// policy and several α values answers Extract/Search/Count
+// identically — codecs change the encoding, never the answers.
+func TestCodecQueryEquivalence(t *testing.T) {
+	text := bytes.Repeat([]byte("the quick brown fox|jumps over the lazy dog$"), 25)
+	patterns := [][]byte{[]byte("the"), []byte("fox|"), []byte("$"), []byte("zz")}
+	ref := Build(text, Options{SamplingRate: 8, Codec: bitutil.CodecForceLegacy})
+	for _, alpha := range []int{4, 8, 32} {
+		for _, policy := range []bitutil.CodecPolicy{
+			bitutil.CodecAuto, bitutil.CodecForceSimple8b, bitutil.CodecForceVarint,
+		} {
+			s := Build(text, Options{SamplingRate: alpha, Codec: policy})
+			if !bytes.Equal(s.Extract(0, len(text)), text) {
+				t.Fatalf("alpha=%d policy=%v: extract diverged", alpha, policy)
+			}
+			for _, p := range patterns {
+				want := ref.Search(p)
+				got := s.Search(p)
+				if len(want) != len(got) {
+					t.Fatalf("alpha=%d policy=%v: Search(%q) %d hits, want %d", alpha, policy, p, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("alpha=%d policy=%v: Search(%q)[%d] = %d, want %d", alpha, policy, p, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

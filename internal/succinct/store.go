@@ -24,6 +24,7 @@ package succinct
 
 import (
 	"fmt"
+	"time"
 
 	"zipg/internal/bitutil"
 	"zipg/internal/memsim"
@@ -61,16 +62,22 @@ type Store struct {
 	psiBlockBase []int32
 	psiBlocks    int
 
-	// Ψ, stored per bucket.
-	psi []*bitutil.MonotoneVector
+	// Ψ, stored per bucket. One codec per region: every bucket uses the
+	// codec recorded in psiMeta, chosen at build time.
+	psi []bitutil.Seq
 
 	// Value-sampled SA: saSampleBits marks rows whose SA value is a
 	// multiple of α; saSamples holds those values in row order.
 	saSampleBits *bitutil.Bitmap
-	saSamples    *bitutil.PackedVector
+	saSamples    bitutil.Seq
 
 	// Position-sampled ISA: isaSamples[j] = ISA[j*α].
-	isaSamples *bitutil.PackedVector
+	isaSamples bitutil.Seq
+
+	// Per-region codec bookkeeping (see RegionCodecs).
+	psiMeta regionMeta
+	saMeta  regionMeta
+	isaMeta regionMeta
 
 	// Simulated storage placement.
 	med            *memsim.Medium
@@ -87,6 +94,19 @@ type Options struct {
 	// Medium is the simulated storage the structure lives on; nil means
 	// an unlimited (never-missing) medium.
 	Medium *memsim.Medium
+	// Codec selects how each region's integer codec is chosen. The zero
+	// value (bitutil.CodecAuto) trial-encodes a sample of each region
+	// with every registered codec and picks per region by measured
+	// decode-speed × size score.
+	Codec bitutil.CodecPolicy
+}
+
+// regionMeta holds the trial measurements that chose a region's codec
+// (empty for forced policies and loaded stores). The chosen codec itself
+// is not recorded here — the encoded sequences carry their own CodecID,
+// which cannot diverge from reality.
+type regionMeta struct {
+	trials []bitutil.TrialResult
 }
 
 // Build compresses text. The text may contain any byte values.
@@ -144,11 +164,13 @@ func Build(text []byte, opts Options) *Store {
 		}
 	}
 
-	// Ψ per bucket.
-	s.psi = make([]*bitutil.MonotoneVector, len(s.bucketChar))
+	// Ψ per bucket. One codec serves the whole region: the choice is
+	// trialed once — on the largest bucket, whose delta distribution
+	// dominates the region's bytes (buckets cannot be concatenated for
+	// sampling without breaking monotonicity) — then applied to every
+	// bucket.
 	psiVals := make([]uint64, 0, n)
-	var psiBytes int
-	for b := range s.bucketChar {
+	bucketVals := func(b int) []uint64 {
 		lo, hi := int(s.bucketStart[b]), int(s.bucketStart[b+1])
 		psiVals = psiVals[:0]
 		for row := lo; row < hi; row++ {
@@ -158,12 +180,28 @@ func Build(text []byte, opts Options) *Store {
 			}
 			psiVals = append(psiVals, uint64(isa[next]))
 		}
-		s.psi[b] = bitutil.NewMonotoneVector(psiVals)
+		return psiVals
+	}
+	psiCodec := resolveCodec(opts.Codec, &s.psiMeta, func() []uint64 {
+		big := 0
+		for b := range s.bucketChar {
+			if s.bucketStart[b+1]-s.bucketStart[b] > s.bucketStart[big+1]-s.bucketStart[big] {
+				big = b
+			}
+		}
+		return bucketVals(big)
+	}, true, 0)
+	s.psi = make([]bitutil.Seq, len(s.bucketChar))
+	var psiBytes int
+	for b := range s.bucketChar {
+		s.psi[b] = encodeRegion(psiCodec, bucketVals(b), true, 0)
 		psiBytes += s.psi[b].SizeBytes()
 	}
 	s.psiBytesPerRow = float64(psiBytes) / float64(n)
 
-	// SA samples (by value).
+	// SA samples (by value). Sample values in row order are not monotone,
+	// so the region uses the raw layout; the width hint reproduces the
+	// historical fixed-width packing under the legacy codec.
 	s.saSampleBits = bitutil.NewBitmap(n)
 	var sampleVals []uint64
 	for row := 0; row < n; row++ {
@@ -177,25 +215,49 @@ func Build(text []byte, opts Options) *Store {
 			sampleVals = append(sampleVals, uint64(sa[row]))
 		}
 	}
-	s.saSamples = packWithWidth(sampleVals, bitutil.WidthFor(uint64(n-1)))
+	widthHint := bitutil.WidthFor(uint64(n - 1))
+	saCodec := resolveCodec(opts.Codec, &s.saMeta, func() []uint64 { return sampleVals }, false, widthHint)
+	s.saSamples = encodeRegion(saCodec, sampleVals, false, widthHint)
 
 	// ISA samples (by position).
 	isaVals := make([]uint64, 0, (n+alpha-1)/alpha)
 	for p := 0; p < n; p += alpha {
 		isaVals = append(isaVals, uint64(isa[p]))
 	}
-	s.isaSamples = packWithWidth(isaVals, bitutil.WidthFor(uint64(n-1)))
+	isaCodec := resolveCodec(opts.Codec, &s.isaMeta, func() []uint64 { return isaVals }, false, widthHint)
+	s.isaSamples = encodeRegion(isaCodec, isaVals, false, widthHint)
 
+	s.countCodecMetrics()
 	s.registerRegions()
 	return s
 }
 
-func packWithWidth(vals []uint64, width uint) *bitutil.PackedVector {
-	pv := bitutil.NewPackedVector(len(vals), width)
-	for i, v := range vals {
-		pv.Set(i, v)
+// resolveCodec picks a region's codec: a forced policy pins it; auto
+// trial-encodes the sample (fetched lazily — forced builds never
+// materialize it) and records the trials in meta for reports.
+func resolveCodec(policy bitutil.CodecPolicy, meta *regionMeta, sample func() []uint64, monotone bool, width uint) bitutil.Codec {
+	if id, ok := policy.Forced(); ok {
+		c, _ := bitutil.CodecByID(id)
+		return c
 	}
-	return pv
+	start := time.Now()
+	c, trials := bitutil.ChooseCodec(sample(), monotone, width)
+	if telemetry.Enabled() {
+		mCodecTrialNs.Add(time.Since(start).Nanoseconds())
+	}
+	meta.trials = trials
+	return c
+}
+
+// encodeRegion encodes vals with the region's codec, falling back to
+// legacy (which encodes anything) if the codec cannot represent them —
+// e.g. a forced simple8b policy over values >= 2^60.
+func encodeRegion(c bitutil.Codec, vals []uint64, monotone bool, width uint) bitutil.Seq {
+	if seq := c.Encode(vals, monotone, width); seq != nil {
+		return seq
+	}
+	legacy, _ := bitutil.CodecByID(bitutil.CodecLegacy)
+	return legacy.Encode(vals, monotone, width)
 }
 
 // rowDirShift fixes the row→bucket directory's sampling stride at

@@ -14,6 +14,31 @@ import (
 
 var processStart = time.Now()
 
+// adminReports holds pluggable admin report pages: name → generator.
+// Registered reports are served at /debug/<name> as plain text. Higher
+// layers (the store's codec report, say) register here so the telemetry
+// package need not import them.
+var (
+	adminReportsMu sync.RWMutex
+	adminReports   = map[string]func() string{}
+)
+
+// RegisterAdminReport publishes fn's output at /debug/<name> on every
+// admin handler. Re-registering a name replaces the previous generator
+// (a process hosting several stores reports the most recent one).
+func RegisterAdminReport(name string, fn func() string) {
+	adminReportsMu.Lock()
+	defer adminReportsMu.Unlock()
+	adminReports[name] = fn
+}
+
+// adminReport resolves a registered report generator (nil if absent).
+func adminReport(name string) func() string {
+	adminReportsMu.RLock()
+	defer adminReportsMu.RUnlock()
+	return adminReports[name]
+}
+
 // publishOnce guards the expvar publication (expvar panics on duplicate
 // names, and tests may build several handlers).
 var publishOnce sync.Once
@@ -27,6 +52,9 @@ var publishOnce sync.Once
 //	/debug/trace/{id} one assembled distributed span tree, JSON
 //	/debug/slow       slow-query ring, failures first (text)
 //	/debug/pprof/     the standard net/http/pprof profiles
+//	/debug/{name}     any report published via RegisterAdminReport
+//	                  (zipg-server registers "codecs": per-shard codec
+//	                  and sampling-rate report)
 func AdminHandler() http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("zipg_metrics", expvar.Func(func() any {
@@ -100,6 +128,19 @@ func AdminHandler() http.Handler {
 		for _, sp := range SlowSpans() {
 			fmt.Fprintln(w, sp.String())
 		}
+	})
+	// Registered reports dispatch dynamically so registration order
+	// relative to handler construction doesn't matter. ServeMux prefers
+	// longer patterns, so the fixed /debug/ routes above still win.
+	mux.HandleFunc("/debug/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/debug/")
+		fn := adminReport(name)
+		if fn == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, fn())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
