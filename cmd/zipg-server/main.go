@@ -34,6 +34,9 @@ func main() {
 	alpha := flag.Int("alpha", 32, "succinct sampling rate")
 	codec := flag.String("codec", "auto", "region codec policy: auto, legacy, simple8b or varint")
 	autoTune := flag.Bool("autotune-alpha", false, "let compactions retune per-shard alpha from read heat")
+	groupCommit := flag.Bool("group-commit", true, "batch concurrent appends through the group-commit leader (false: one store lock per record)")
+	compactInterval := flag.Duration("compact-interval", 0, "run a full online compaction every interval (0 to disable; enables the background worker)")
+	compactRollovers := flag.Int("compact-rollovers", 0, "run a full online compaction after this many log rollovers (0 to disable; enables the background worker)")
 	admin := flag.String("admin", "127.0.0.1:0",
 		"admin HTTP address serving /metrics, /healthz, /debug/vars, /debug/traces, /debug/trace/{id}, /debug/slow and /debug/pprof (empty to disable)")
 	noTelemetry := flag.Bool("no-telemetry", false, "disable telemetry recording (admin endpoints stay up)")
@@ -79,12 +82,15 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := cluster.NewServer(g.Nodes, g.Edges, nodeSchema, edgeSchema, cluster.ServerConfig{
-		ID:              *id,
-		NumServers:      g.NumServers,
-		ShardsPerServer: *shards,
-		SamplingRate:    *alpha,
-		Codec:           policy,
-		AutoTuneAlpha:   *autoTune,
+		ID:                    *id,
+		NumServers:            g.NumServers,
+		ShardsPerServer:       *shards,
+		SamplingRate:          *alpha,
+		Codec:                 policy,
+		AutoTuneAlpha:         *autoTune,
+		DisableGroupCommit:    !*groupCommit,
+		CompactInterval:       *compactInterval,
+		CompactAfterRollovers: *compactRollovers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

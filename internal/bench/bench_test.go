@@ -269,8 +269,24 @@ func TestBuildSystemUnknown(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 22 {
-		t.Fatalf("want 22 experiments, got %d: %v", len(names), names)
+	if len(names) != 23 {
+		t.Fatalf("want 23 experiments, got %d: %v", len(names), names)
+	}
+}
+
+func TestIngestBenchShape(t *testing.T) {
+	r := runExperiment(t, "ingest-bench")
+	// The experiment itself fails if any query answer changed across the
+	// online compaction; assert the row reports that check ran.
+	last := r.Rows[len(r.Rows)-1]
+	if last[0] != "answers before/after compaction" || last[2] != "identical" {
+		t.Errorf("answer-identity row missing or wrong: %v", last)
+	}
+	// Both throughput rows must carry a parseable ratio.
+	for _, row := range r.Rows[:2] {
+		if !strings.HasSuffix(row[3], "x") {
+			t.Errorf("row %q: want ratio cell, got %q", row[0], row[3])
+		}
 	}
 }
 

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"zipg"
+	"zipg/internal/workloads"
+)
+
+// IngestBench is the headline experiment for the group-committed write
+// path and online compaction (§3.5, §4.1): a LinkBench-style write mix
+// driven by 8 concurrent writers against (a) the per-record baseline —
+// every append takes the store lock individually and every rollover
+// compresses the log synchronously under that lock — and (b) the
+// production path — group-committed appends, O(1) log seals, and a
+// background worker that compresses sealed generations and runs full
+// online compactions. It then measures read p99 while an online
+// compaction runs, and verifies the compaction changed no query answer.
+func IngestBench(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	d, err := datasetByName("lb-small", opts.BaseBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	// The write side of Table 2's LinkBench column, weights preserved.
+	var writeMix workloads.Frequencies
+	for _, k := range []workloads.OpKind{
+		workloads.OpAssocAdd, workloads.OpObjUpdate, workloads.OpObjAdd,
+		workloads.OpAssocDel, workloads.OpObjDel, workloads.OpAssocUpdate,
+	} {
+		writeMix[k] = workloads.LinkBenchMix[k]
+	}
+	const writers = 8
+	writeOps := workloads.GenerateOps(d, workloads.MixConfig{Mix: writeMix, AccessSkew: 1.4, Seed: 4401}, opts.Ops*writers)
+
+	// A read mix (LinkBench's read side) for the p99-under-compaction
+	// measurement.
+	var readMix workloads.Frequencies
+	for _, k := range []workloads.OpKind{
+		workloads.OpAssocRange, workloads.OpObjGet, workloads.OpAssocGet,
+		workloads.OpAssocCount, workloads.OpAssocTimeRange,
+	} {
+		readMix[k] = workloads.LinkBenchMix[k]
+	}
+	readOps := workloads.GenerateOps(d, workloads.MixConfig{Mix: readMix, AccessSkew: 1.4, Seed: 4402}, opts.Ops)
+
+	// Small threshold so the ingest run crosses it many times: the
+	// baseline pays a synchronous compression under the store lock per
+	// crossing, the production path an O(1) seal.
+	threshold := opts.BaseBytes / 16
+	build := func(perRecord bool) (*zipg.Graph, error) {
+		o := zipg.Options{NumShards: 4, SamplingRate: 32, LogStoreThreshold: threshold}
+		if perRecord {
+			o.DisableGroupCommit = true
+		} else {
+			o.BackgroundCompaction = true
+			o.CompactAfterRollovers = 32
+		}
+		return zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges}, o)
+	}
+
+	ingest := func(g *zipg.Graph) (time.Duration, error) {
+		errs := make([]error, writers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(writeOps); i += writers {
+					if _, err := workloads.Execute(g, writeOps[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return elapsed, nil
+	}
+
+	if opts.Verbose {
+		fmt.Printf("ingest-bench: %d write ops, %d writers, threshold %d B\n", len(writeOps), writers, threshold)
+	}
+	base, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	baseIngest, err := ingest(base)
+	if err != nil {
+		return nil, fmt.Errorf("ingest-bench: per-record ingest: %w", err)
+	}
+	baseRollovers := base.Store().Rollovers()
+	// Settle: bring the store to the fully-compacted state, so sustained
+	// throughput charges every system for all the work its ingest incurs
+	// — the baseline compressed each rollover inline, the production
+	// path deferred compression and must pay it here.
+	st0 := time.Now()
+	if err := base.Compact(); err != nil {
+		return nil, err
+	}
+	baseSettle := time.Since(st0)
+
+	prod, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	prodIngest, err := ingest(prod)
+	if err != nil {
+		prod.Close()
+		return nil, fmt.Errorf("ingest-bench: group-commit ingest: %w", err)
+	}
+	prodRollovers := prod.Store().Rollovers()
+	// Quiesce the background worker (the p99 phases below must own the
+	// only compaction in flight), then settle like the baseline.
+	st0 = time.Now()
+	prod.Close()
+	if err := prod.Compact(); err != nil {
+		return nil, err
+	}
+	prodSettle := time.Since(st0)
+
+	nOps := float64(len(writeOps))
+	baseT := nOps / baseIngest.Seconds()
+	prodT := nOps / prodIngest.Seconds()
+	baseSust := nOps / (baseIngest + baseSettle).Seconds()
+	prodSust := nOps / (prodIngest + prodSettle).Seconds()
+
+	// Fragment the store again so the measured compaction has real work
+	// (the background worker may have just compacted).
+	for i, op := range writeOps {
+		if i%4 != 0 {
+			continue
+		}
+		if _, err := workloads.Execute(prod, op); err != nil {
+			return nil, err
+		}
+	}
+
+	runReads := func(stop <-chan struct{}) ([]time.Duration, error) {
+		var lat []time.Duration
+		for pass := 0; ; pass++ {
+			for _, op := range readOps {
+				if stop != nil {
+					select {
+					case <-stop:
+						return lat, nil
+					default:
+					}
+				}
+				t0 := time.Now()
+				if _, err := workloads.Execute(prod, op); err != nil {
+					return nil, err
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			if stop == nil && pass >= 1 {
+				return lat, nil // quiescent: one warm-up pass, one measured
+			}
+		}
+	}
+
+	// Quiescent read p99 (no compaction running).
+	quiet, err := runReads(nil)
+	if err != nil {
+		return nil, err
+	}
+	quietP99 := p99(quiet[len(quiet)/2:]) // second (warm) pass only
+
+	// Snapshot query answers, then measure reads racing the online
+	// compaction, then verify the answers are unchanged.
+	before := answerKey(prod, d.NumNodes())
+	compactDone := make(chan struct{})
+	var compactErr error
+	go func() {
+		defer close(compactDone)
+		compactErr = prod.Compact()
+	}()
+	during, err := runReads(compactDone)
+	if err != nil {
+		return nil, err
+	}
+	<-compactDone
+	if compactErr != nil {
+		return nil, fmt.Errorf("ingest-bench: online compaction: %w", compactErr)
+	}
+	duringP99 := p99(during)
+	after := answerKey(prod, d.NumNodes())
+	answers := "identical"
+	if before != after {
+		return nil, fmt.Errorf("ingest-bench: query answers changed across online compaction")
+	}
+
+	r := &Result{
+		Title:   "Ingest bench: group-committed writes + online compaction (§3.5, §4.1)",
+		Headers: []string{"metric", "per-record", "group+bg", "ratio"},
+		Notes: []string{
+			"write throughput: 8 concurrent writers over the identical LinkBench write mix",
+			"expected: >=2x sustained write throughput; read p99 during online compaction within 2x of quiescent",
+			fmt.Sprintf("read p99 samples: %d quiescent, %d during compaction", len(quiet)/2, len(during)),
+		},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"write-KOps (8 writers)", kops(baseT), kops(prodT), fmt.Sprintf("%.2fx", prodT/baseT)},
+		[]string{"sustained-KOps (incl. settle)", kops(baseSust), kops(prodSust), fmt.Sprintf("%.2fx", prodSust/baseSust)},
+		[]string{"rollovers during ingest", fmt.Sprint(baseRollovers), fmt.Sprint(prodRollovers), "-"},
+		[]string{"read p99 quiescent", "-", fmt.Sprintf("%.1fus", float64(quietP99.Nanoseconds())/1e3), "-"},
+		[]string{"read p99 during compaction", "-", fmt.Sprintf("%.1fus", float64(duringP99.Nanoseconds())/1e3),
+			fmt.Sprintf("%.2fx", float64(duringP99)/float64(quietP99))},
+		[]string{"answers before/after compaction", "-", answers, "-"},
+	)
+	return r, nil
+}
+
+// p99 returns the 99th-percentile latency of the sample set.
+func p99(lat []time.Duration) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := len(sorted) * 99 / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// answerKey fingerprints the store's query answers over a fixed probe
+// set: obj_get plus per-type assoc_count for a sample of nodes. Equal
+// keys before and after a compaction mean no answer changed.
+func answerKey(g *zipg.Graph, numNodes int) string {
+	t := workloads.TAO{S: g}
+	n := numNodes
+	if n > 400 {
+		n = 400
+	}
+	var sb []byte
+	for id := int64(0); id < int64(n); id++ {
+		vals, ok := t.ObjGet(id)
+		sb = append(sb, fmt.Sprintf("%d:%v:%q;", id, ok, vals)...)
+		for et := int64(0); et < 5; et++ {
+			sb = append(sb, fmt.Sprintf("%d,", t.AssocCount(id, et))...)
+		}
+	}
+	return string(sb)
+}

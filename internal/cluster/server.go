@@ -154,6 +154,19 @@ type ServerConfig struct {
 	// AutoTuneAlpha lets local compactions retune per-shard α from
 	// accumulated read counts.
 	AutoTuneAlpha bool
+	// DisableGroupCommit makes every append take the store lock
+	// individually instead of batching through the group committer.
+	DisableGroupCommit bool
+	// BackgroundCompaction moves rollover compression off the write
+	// path onto this server's background worker. Implied by
+	// CompactInterval or CompactAfterRollovers.
+	BackgroundCompaction bool
+	// CompactInterval, when positive, runs a full online compaction of
+	// this server's store every interval.
+	CompactInterval time.Duration
+	// CompactAfterRollovers, when positive, runs a full online
+	// compaction once that many local rollovers have accumulated.
+	CompactAfterRollovers int
 }
 
 // Server is one ZipG cluster server: a partition store plus the
@@ -175,12 +188,16 @@ type Server struct {
 // owns).
 func NewServer(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layout.PropertySchema, cfg ServerConfig) (*Server, error) {
 	st, err := store.New(nodes, edges, nodeSchema, edgeSchema, store.Config{
-		NumShards:         cfg.ShardsPerServer,
-		SamplingRate:      cfg.SamplingRate,
-		Medium:            cfg.Medium,
-		LogStoreThreshold: cfg.LogStoreThreshold,
-		Codec:             cfg.Codec,
-		AutoTuneAlpha:     cfg.AutoTuneAlpha,
+		NumShards:             cfg.ShardsPerServer,
+		SamplingRate:          cfg.SamplingRate,
+		Medium:                cfg.Medium,
+		LogStoreThreshold:     cfg.LogStoreThreshold,
+		Codec:                 cfg.Codec,
+		AutoTuneAlpha:         cfg.AutoTuneAlpha,
+		DisableGroupCommit:    cfg.DisableGroupCommit,
+		BackgroundCompaction:  cfg.BackgroundCompaction,
+		CompactInterval:       cfg.CompactInterval,
+		CompactAfterRollovers: cfg.CompactAfterRollovers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: server %d: %w", cfg.ID, err)
@@ -229,7 +246,8 @@ func (s *Server) peer(id int) (*rpc.Client, error) {
 	return s.peers[id], nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down, stopping the store's background
+// compaction worker (if any) after the RPC surface is gone.
 func (s *Server) Close() {
 	s.rpc.Close()
 	s.peerMu.Lock()
@@ -239,6 +257,7 @@ func (s *Server) Close() {
 		}
 	}
 	s.peerMu.Unlock()
+	s.store.Close()
 }
 
 // Store exposes the underlying partition store (for tests and stats).

@@ -97,48 +97,112 @@ func (l *LogStore) Size() int64 {
 	return l.size
 }
 
-// AddNode inserts or replaces the node's property list.
-func (l *LogStore) AddNode(id layout.NodeID, props map[string]string) error {
+// Put is one prepared (validated, schema-checked, size-accounted)
+// mutation, ready to be applied to a LogStore without any further
+// fallible work. Exactly one of NodeID/Edge is meaningful; NodeProps
+// is an already-copied map the LogStore may own. Prepared puts are the
+// unit the store's group-committed write path batches: all validation
+// and serialization-size work happens outside any lock, and ApplyPuts
+// publishes a whole batch in one critical section.
+type Put struct {
+	IsNode    bool
+	NodeID    layout.NodeID
+	NodeProps map[string]string
+	Edge      layout.Edge
+	grow      int64
+}
+
+// PrepareNodePut validates a node append against the schema and
+// returns a prepared put. No locks are taken.
+func PrepareNodePut(schema *layout.PropertySchema, id layout.NodeID, props map[string]string) (Put, error) {
 	if id < 0 {
-		return fmt.Errorf("logstore: negative node ID %d", id)
+		return Put{}, fmt.Errorf("logstore: negative node ID %d", id)
 	}
-	// Validate against the schema before mutating.
-	if _, err := l.nodeSchema.SerializeProps(nil, props); err != nil {
-		return err
+	if _, err := schema.SerializeProps(nil, props); err != nil {
+		return Put{}, err
 	}
 	cp := make(map[string]string, len(props))
 	for k, v := range props {
 		cp[k] = v
 	}
-	grow := int64(l.nodeSchema.PropsEncodedSize(props)) * QueryOptimizedOverhead
+	grow := int64(schema.PropsEncodedSize(props)) * QueryOptimizedOverhead
+	return Put{IsNode: true, NodeID: id, NodeProps: cp, grow: grow}, nil
+}
+
+// PrepareEdgePut validates an edge append against the schema and
+// returns a prepared put. No locks are taken.
+func PrepareEdgePut(schema *layout.PropertySchema, e layout.Edge) (Put, error) {
+	if e.Src < 0 || e.Dst < 0 || e.Type < 0 || e.Timestamp < 0 {
+		return Put{}, fmt.Errorf("logstore: negative field in edge %+v", e)
+	}
+	blob, err := schema.SerializeProps(nil, e.Props)
+	if err != nil {
+		return Put{}, err
+	}
+	grow := int64(len(blob)+24) * QueryOptimizedOverhead
+	return Put{Edge: e, grow: grow}, nil
+}
+
+// ApplyPuts publishes a batch of prepared puts under one acquisition
+// of the LogStore lock, in order. It cannot fail: every fallible step
+// ran in Prepare*Put.
+func (l *LogStore) ApplyPuts(puts []Put) {
+	if len(puts) == 0 {
+		return
+	}
+	var grow int64
+	var nNodes, nEdges int64
 	l.mu.Lock()
-	l.nodes[id] = cp
-	l.size += grow
+	for i := range puts {
+		p := &puts[i]
+		if p.IsNode {
+			l.nodes[p.NodeID] = p.NodeProps
+			nNodes++
+		} else {
+			k := edgeKey{p.Edge.Src, p.Edge.Type}
+			l.edges[k] = append(l.edges[k], p.Edge)
+			nEdges++
+		}
+		l.size += p.grow
+		grow += p.grow
+	}
 	l.mu.Unlock()
 	l.med.Grow(grow)
-	mAppendNodes.Inc()
+	mAppendNodes.Add(nNodes)
+	mAppendEdges.Add(nEdges)
 	mAppendBytes.Add(grow)
+}
+
+// AddNode inserts or replaces the node's property list.
+func (l *LogStore) AddNode(id layout.NodeID, props map[string]string) error {
+	put, err := PrepareNodePut(l.nodeSchema, id, props)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.nodes[id] = put.NodeProps
+	l.size += put.grow
+	l.mu.Unlock()
+	l.med.Grow(put.grow)
+	mAppendNodes.Inc()
+	mAppendBytes.Add(put.grow)
 	return nil
 }
 
 // AddEdge appends one edge.
 func (l *LogStore) AddEdge(e layout.Edge) error {
-	if e.Src < 0 || e.Dst < 0 || e.Type < 0 || e.Timestamp < 0 {
-		return fmt.Errorf("logstore: negative field in edge %+v", e)
-	}
-	blob, err := l.edgeSchema.SerializeProps(nil, e.Props)
+	put, err := PrepareEdgePut(l.edgeSchema, e)
 	if err != nil {
 		return err
 	}
-	grow := int64(len(blob)+24) * QueryOptimizedOverhead
 	k := edgeKey{e.Src, e.Type}
 	l.mu.Lock()
 	l.edges[k] = append(l.edges[k], e)
-	l.size += grow
+	l.size += put.grow
 	l.mu.Unlock()
-	l.med.Grow(grow)
+	l.med.Grow(put.grow)
 	mAppendEdges.Inc()
-	mAppendBytes.Add(grow)
+	mAppendBytes.Add(put.grow)
 	return nil
 }
 
@@ -151,28 +215,34 @@ func (l *LogStore) RemoveNode(id layout.NodeID) {
 }
 
 // RemoveEdges drops all (src, etype, dst) edges from this fragment and
-// reports how many were removed.
+// reports how many were removed. The surviving entries go into a fresh
+// slice (never compacted in place): snapshot readers may still hold the
+// old backing array outside the lock.
 func (l *LogStore) RemoveEdges(src layout.NodeID, etype layout.EdgeType, dst layout.NodeID) int {
 	k := edgeKey{src, etype}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	es := l.edges[k]
-	kept := es[:0]
 	removed := 0
 	for _, e := range es {
 		if e.Dst == dst {
 			removed++
-			continue
-		}
-		kept = append(kept, e)
-	}
-	if removed > 0 {
-		if len(kept) == 0 {
-			delete(l.edges, k)
-		} else {
-			l.edges[k] = kept
 		}
 	}
+	if removed == 0 {
+		return 0
+	}
+	if removed == len(es) {
+		delete(l.edges, k)
+		return removed
+	}
+	kept := make([]layout.Edge, 0, len(es)-removed)
+	for _, e := range es {
+		if e.Dst != dst {
+			kept = append(kept, e)
+		}
+	}
+	l.edges[k] = kept
 	return removed
 }
 
@@ -200,16 +270,45 @@ func (l *LogStore) NodeProps(id layout.NodeID) (map[string]string, bool) {
 	return cp, true
 }
 
+// snapshotNodes returns a shallow copy of the node table taken under
+// the read lock. The inner property maps are safe to read outside the
+// lock: AddNode replaces a node's entry with a freshly built map and
+// never mutates the old one.
+func (l *LogStore) snapshotNodes() map[layout.NodeID]map[string]string {
+	l.mu.RLock()
+	cp := make(map[layout.NodeID]map[string]string, len(l.nodes))
+	for id, props := range l.nodes {
+		cp[id] = props
+	}
+	l.mu.RUnlock()
+	return cp
+}
+
+// snapshotEdges returns a shallow copy of the edge table taken under
+// the read lock. The entry slices are safe to read outside the lock:
+// AddEdge appends beyond the snapshotted length and RemoveEdges
+// replaces the slice with a fresh one, so the elements a snapshot can
+// see are never rewritten.
+func (l *LogStore) snapshotEdges() map[edgeKey][]layout.Edge {
+	l.mu.RLock()
+	cp := make(map[edgeKey][]layout.Edge, len(l.edges))
+	for k, es := range l.edges {
+		cp[k] = es
+	}
+	l.mu.RUnlock()
+	return cp
+}
+
 // FindNodes returns IDs of nodes in this fragment matching all property
-// pairs exactly, ascending.
+// pairs exactly, ascending. The LogStore lock is held only for a
+// shallow table snapshot; the scan itself runs outside it, so a long
+// search (or compaction's materialize pass) never stalls appends.
 func (l *LogStore) FindNodes(props map[string]string) []layout.NodeID {
 	if len(props) == 0 {
 		return nil
 	}
-	l.mu.RLock()
-	defer l.mu.RUnlock()
 	var out []layout.NodeID
-	for id, np := range l.nodes {
+	for id, np := range l.snapshotNodes() {
 		match := true
 		for k, v := range props {
 			if np[k] != v {
@@ -237,6 +336,21 @@ func (l *LogStore) EdgeEntries(src layout.NodeID, etype layout.EdgeType) []layou
 	return cp
 }
 
+// CountEdges returns how many (src, etype, dst) entries this fragment
+// holds — what a delete against a sealed (immutable) generation needs
+// to size its tombstone.
+func (l *LogStore) CountEdges(src layout.NodeID, etype layout.EdgeType, dst layout.NodeID) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, e := range l.edges[edgeKey{src, etype}] {
+		if e.Dst == dst {
+			n++
+		}
+	}
+	return n
+}
+
 // EdgeTypes returns the distinct edge types with entries for src.
 func (l *LogStore) EdgeTypes(src layout.NodeID) []layout.EdgeType {
 	l.mu.RLock()
@@ -252,35 +366,51 @@ func (l *LogStore) EdgeTypes(src layout.NodeID) []layout.EdgeType {
 }
 
 // Contents snapshots everything in the fragment for freezing into a
-// compressed shard.
+// compressed shard. The LogStore lock is held only for the shallow
+// table snapshots; the deep copy runs outside it, so freezing a large
+// fragment does not stall concurrent appends. Output is deterministic:
+// nodes ascend by ID and edges are grouped by (src, type) ascending,
+// preserving append order within a group.
 func (l *LogStore) Contents() ([]layout.Node, []layout.Edge) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	nodes := make([]layout.Node, 0, len(l.nodes))
-	for id, props := range l.nodes {
+	nodeTab := l.snapshotNodes()
+	edgeTab := l.snapshotEdges()
+
+	nodes := make([]layout.Node, 0, len(nodeTab))
+	for id, props := range nodeTab {
 		cp := make(map[string]string, len(props))
 		for k, v := range props {
 			cp[k] = v
 		}
 		nodes = append(nodes, layout.Node{ID: id, Props: cp})
 	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+
+	keys := make([]edgeKey, 0, len(edgeTab))
+	for k := range edgeTab {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Type < keys[j].Type
+	})
 	var edges []layout.Edge
-	for _, es := range l.edges {
-		edges = append(edges, es...)
+	for _, k := range keys {
+		edges = append(edges, edgeTab[k]...)
 	}
 	return nodes, edges
 }
 
 // FindEdges returns this fragment's edges whose property lists match all
-// pairs exactly (the edge-search extension; §3.3).
+// pairs exactly (the edge-search extension; §3.3). Like FindNodes, the
+// scan runs against a shallow snapshot outside the LogStore lock.
 func (l *LogStore) FindEdges(props map[string]string) []layout.Edge {
 	if len(props) == 0 {
 		return nil
 	}
-	l.mu.RLock()
-	defer l.mu.RUnlock()
 	var out []layout.Edge
-	for _, es := range l.edges {
+	for _, es := range l.snapshotEdges() {
 		for _, e := range es {
 			match := true
 			for k, v := range props {

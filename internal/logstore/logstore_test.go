@@ -159,3 +159,113 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("after concurrent use: %d nodes, %d edges", len(nodes), len(edges))
 	}
 }
+
+func TestPreparedPuts(t *testing.T) {
+	l := testLog(t)
+	ns, es := l.nodeSchema, l.edgeSchema
+	// Validation happens at prepare time, outside any lock.
+	if _, err := PrepareNodePut(ns, -1, nil); err == nil {
+		t.Fatal("negative node ID accepted")
+	}
+	if _, err := PrepareNodePut(ns, 1, map[string]string{"nope": "x"}); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+	if _, err := PrepareEdgePut(es, layout.Edge{Src: 1, Dst: -2}); err == nil {
+		t.Fatal("negative edge field accepted")
+	}
+	var puts []Put
+	for i := 0; i < 5; i++ {
+		p, err := PrepareNodePut(ns, int64(i), map[string]string{"a": fmt.Sprint(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		puts = append(puts, p)
+		ep, err := PrepareEdgePut(es, layout.Edge{Src: int64(i), Dst: 9, Type: 1, Timestamp: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		puts = append(puts, ep)
+	}
+	l.ApplyPuts(puts)
+	if l.Size() == 0 {
+		t.Fatal("ApplyPuts did not grow size")
+	}
+	nodes, edges := l.Contents()
+	if len(nodes) != 5 || len(edges) != 5 {
+		t.Fatalf("after ApplyPuts: %d nodes, %d edges", len(nodes), len(edges))
+	}
+	// A batch must behave exactly like the per-record calls.
+	ref := testLog(t)
+	for i := 0; i < 5; i++ {
+		if err := ref.AddNode(int64(i), map[string]string{"a": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddEdge(layout.Edge{Src: int64(i), Dst: 9, Type: 1, Timestamp: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rn, re := ref.Contents()
+	if !reflect.DeepEqual(nodes, rn) || !reflect.DeepEqual(edges, re) {
+		t.Fatal("ApplyPuts contents differ from per-record appends")
+	}
+	if l.Size() != ref.Size() {
+		t.Fatalf("size accounting differs: %d vs %d", l.Size(), ref.Size())
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	l := testLog(t)
+	for i := 0; i < 3; i++ {
+		if err := l.AddEdge(layout.Edge{Src: 4, Dst: 8, Type: 2, Timestamp: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AddEdge(layout.Edge{Src: 4, Dst: 9, Type: 2, Timestamp: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.CountEdges(4, 8, 8); n != 0 {
+		t.Fatalf("CountEdges wrong type = %d", n)
+	}
+	if n := l.CountEdges(4, 2, 8); n != 3 {
+		t.Fatalf("CountEdges = %d, want 3", n)
+	}
+	if n := l.CountEdges(4, 2, 9); n != 1 {
+		t.Fatalf("CountEdges = %d, want 1", n)
+	}
+}
+
+// TestContentsDeterministic locks Contents' ordering contract: nodes
+// ascend by ID and edges group by (src, type) ascending — the property
+// compaction's byte-identical rebuilds stand on.
+func TestContentsDeterministic(t *testing.T) {
+	build := func() *LogStore {
+		l := testLog(t)
+		for _, id := range []int64{9, 3, 7, 1, 5} {
+			if err := l.AddNode(id, map[string]string{"a": fmt.Sprint(id)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.AddEdge(layout.Edge{Src: id, Dst: id + 1, Type: id % 3, Timestamp: 100 - id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return l
+	}
+	n1, e1 := build().Contents()
+	for i := 1; i < len(n1); i++ {
+		if n1[i-1].ID >= n1[i].ID {
+			t.Fatalf("nodes not ascending at %d: %v", i, n1)
+		}
+	}
+	for i := 1; i < len(e1); i++ {
+		a, b := e1[i-1], e1[i]
+		if a.Src > b.Src || (a.Src == b.Src && a.Type > b.Type) {
+			t.Fatalf("edges not grouped ascending at %d", i)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		n2, e2 := build().Contents()
+		if !reflect.DeepEqual(n1, n2) || !reflect.DeepEqual(e1, e2) {
+			t.Fatalf("Contents differ across identical builds (trial %d)", trial)
+		}
+	}
+}

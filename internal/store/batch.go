@@ -39,10 +39,14 @@ func (s *Store) getNodePropsBatch(ids []layout.NodeID, propertyIDs []string) ([]
 	}
 	dupOf := make([]int, len(ids))
 	slow := make([]int, 0)
-	groups := make([][]int, len(s.primaries)) // request indices per shard
 	firstIdx := make(map[layout.NodeID]int, len(ids))
 
+	// Snapshot the primaries with the overlay: an online compaction may
+	// swap s.primaries while the batch decodes, and the fast-path split
+	// below is only valid against the shard set it was computed from.
 	s.mu.RLock()
+	primaries := s.primaries
+	groups := make([][]int, len(primaries)) // request indices per shard
 	for i, id := range ids {
 		dupOf[i] = -1
 		if j, dup := firstIdx[id]; dup {
@@ -74,7 +78,7 @@ func (s *Store) getNodePropsBatch(ids []layout.NodeID, propertyIDs []string) ([]
 		for k, i := range g {
 			gids[k] = ids[i]
 		}
-		vs, os := s.primaries[p].Nodes().GetPropertiesBatch(gids, propertyIDs)
+		vs, os := primaries[p].Nodes().GetPropertiesBatch(gids, propertyIDs)
 		for k, i := range g {
 			vals[i], oks[i] = vs[k], os[k]
 		}
@@ -166,10 +170,12 @@ func (s *Store) AssocRangeBatch(reqs []AssocRangeReq) ([][]layout.EdgeData, erro
 		lreqs []layout.EdgeRangeReq
 		back  []int
 	}
-	groups := make([]shardGroup, len(s.primaries))
 	firstIdx := make(map[AssocRangeReq]int, len(reqs))
 
+	// Snapshot the primaries with the overlay (see getNodePropsBatch).
 	s.mu.RLock()
+	primaries := s.primaries
+	groups := make([]shardGroup, len(primaries))
 	for i, req := range reqs {
 		dupOf[i] = -1
 		if j, dup := firstIdx[req]; dup {
@@ -186,7 +192,7 @@ func (s *Store) AssocRangeBatch(reqs []AssocRangeReq) ([][]layout.EdgeData, erro
 		}
 		p := s.partitionOf(req.ID)
 		s.noteRead(p)
-		sh := s.primaries[p]
+		sh := primaries[p]
 		if len(s.deletedPhys[shardEdgeRef{sh, req.ID, req.Type}]) > 0 {
 			slow = append(slow, i)
 			continue
@@ -207,7 +213,7 @@ func (s *Store) AssocRangeBatch(reqs []AssocRangeReq) ([][]layout.EdgeData, erro
 		if len(g.lreqs) == 0 {
 			return nil
 		}
-		data, err := s.primaries[p].Edges().GetEdgeRangeBatch(g.lreqs)
+		data, err := primaries[p].Edges().GetEdgeRangeBatch(g.lreqs)
 		if err != nil {
 			return err
 		}

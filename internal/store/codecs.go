@@ -38,11 +38,18 @@ func (s *Store) CodecReport() []FragmentCodecs {
 			Regions:  sh.CodecReport(),
 		})
 	}
-	for g, sh := range s.frozen {
+	for g, f := range s.frozen {
+		if f.raw != nil {
+			// Sealed but not yet compressed: no codec regions to report.
+			out = append(out, FragmentCodecs{
+				Fragment: fmt.Sprintf("frozen/%d (raw, awaiting compression)", g),
+			})
+			continue
+		}
 		out = append(out, FragmentCodecs{
 			Fragment: fmt.Sprintf("frozen/%d", g),
-			Alpha:    sh.SamplingRate(),
-			Regions:  sh.CodecReport(),
+			Alpha:    f.shard.SamplingRate(),
+			Regions:  f.shard.CodecReport(),
 		})
 	}
 	return out

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"zipg/internal/layout"
+)
+
+// benchmarkIngest measures concurrent append throughput. The two
+// variants isolate the group committer: identical work, with the
+// write path either batching via the leader protocol (default) or
+// taking the store lock per record (the seed behavior).
+func benchmarkIngest(b *testing.B, disableGroupCommit bool) {
+	ns, es := testSchemas(b)
+	nodes, edges := testGraph(100, 400, 11)
+	s, err := New(nodes, edges, ns, es, Config{
+		NumShards: 4, SamplingRate: 8, LogStoreThreshold: 1 << 30,
+		DisableGroupCommit: disableGroupCommit,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = edges
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine writes to its own source node so record growth
+		// is spread across partitions, like distinct clients would.
+		src := 10000 + seq.Add(1)
+		i := int64(0)
+		for pb.Next() {
+			i++
+			if err := s.AppendEdge(layout.Edge{Src: src, Dst: 20000 + i, Type: 1, Timestamp: i}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkIngestGroupCommit(b *testing.B) { benchmarkIngest(b, false) }
+func BenchmarkIngestPerRecord(b *testing.B)   { benchmarkIngest(b, true) }

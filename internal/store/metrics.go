@@ -38,6 +38,23 @@ var (
 	mSuccinctBytes = telemetry.NewCounter("zipg_store_succinct_bytes_total",
 		"Bytes extracted from Succinct-compressed shards.")
 
+	// Group-commit write path (see groupcommit.go).
+	mGroupBatches = telemetry.NewCounter("zipg_group_commit_batches_total",
+		"Group-commit batches published (one store-lock acquisition each).")
+	mGroupRecords = telemetry.NewCounter("zipg_group_commit_records_total",
+		"Records published through group-commit batches.")
+	// mWriteStallNs is the time one writer spent between enqueueing its
+	// put and the put becoming visible — queueing plus the commit's
+	// critical section. The writer-visible cost of the write path.
+	mWriteStallNs = telemetry.NewHistogram("zipg_write_stall_ns",
+		"Per-write stall from enqueue to visibility, in nanoseconds.")
+	// mCompactionPauseNs is the time an online compaction held the store
+	// write lock (the seal snapshot plus the swap) — the only windows
+	// where queries and writes actually stall. The rebuild itself runs
+	// outside the lock and does not count.
+	mCompactionPauseNs = telemetry.NewHistogram("zipg_compaction_pause_ns",
+		"Store-lock hold time of online compaction's seal and swap phases, in nanoseconds.")
+
 	mRollovers = telemetry.NewCounter("zipg_store_rollovers_total",
 		"LogStore freezes into compressed shards.")
 	mRolloverNs = telemetry.NewHistogram("zipg_store_rollover_ns",

@@ -32,7 +32,10 @@ type storeWire struct {
 	EdgeSchema   layout.SchemaSpec
 
 	Primaries [][]byte // serialized shards
-	Frozen    [][]byte
+	// Frozen holds one entry per frozen generation; a nil blob marks a
+	// sealed raw generation whose contents live in RawGens instead.
+	Frozen  [][]byte
+	RawGens []rawGenWire
 
 	LogNodes []layout.Node
 	LogEdges []layout.Edge
@@ -52,6 +55,15 @@ type deletedPhysWire struct {
 	Src      layout.NodeID
 	EType    layout.EdgeType
 	Indexes  []int
+}
+
+// rawGenWire is one sealed-but-uncompressed generation. Its delete
+// tombstones are applied at save time, so the persisted contents are
+// already clean.
+type rawGenWire struct {
+	Gen   int
+	Nodes []layout.Node
+	Edges []layout.Edge
 }
 
 // Save serializes the entire store (shards, LogStore contents, update
@@ -78,13 +90,28 @@ func (s *Store) Save(w io.Writer) error {
 		wire.Primaries = append(wire.Primaries, blob)
 		fragIndex[sh] = i
 	}
-	for g, sh := range s.frozen {
-		blob, err := sh.MarshalBinary()
+	for g, f := range s.frozen {
+		if f.raw != nil {
+			rn, re := f.raw.Contents()
+			if dels := s.rawDels[f.raw]; len(dels) > 0 {
+				kept := re[:0]
+				for _, e := range re {
+					if !dels[edgeTriple{e.Src, e.Type, e.Dst}] {
+						kept = append(kept, e)
+					}
+				}
+				re = kept
+			}
+			wire.Frozen = append(wire.Frozen, nil)
+			wire.RawGens = append(wire.RawGens, rawGenWire{Gen: g, Nodes: rn, Edges: re})
+			continue
+		}
+		blob, err := f.shard.MarshalBinary()
 		if err != nil {
 			return fmt.Errorf("store: save frozen %d: %w", g, err)
 		}
 		wire.Frozen = append(wire.Frozen, blob)
-		fragIndex[sh] = s.cfg.NumShards + g
+		fragIndex[f.shard] = s.cfg.NumShards + g
 	}
 	wire.LogNodes, wire.LogEdges = s.log.Contents()
 	for id := range s.deletedNodes {
@@ -142,9 +169,11 @@ func Load(r io.Reader, med *memsim.Medium) (*Store, error) {
 		ptrs:         wire.Ptrs,
 		deletedNodes: make(map[layout.NodeID]bool, len(wire.DeletedNodes)),
 		deletedPhys:  make(map[shardEdgeRef]map[int]bool),
+		rawDels:      make(map[*logstore.LogStore]map[edgeTriple]bool),
 		shardReads:   make([]atomic.Int64, wire.NumShards),
 		rollovers:    wire.Rollovers,
 	}
+	s.wc.init(wire.NumShards)
 	if s.cfg.LogStoreThreshold <= 0 {
 		s.cfg.LogStoreThreshold = DefaultLogStoreThreshold
 	}
@@ -163,6 +192,9 @@ func Load(r io.Reader, med *memsim.Medium) (*Store, error) {
 			}
 			return sh, nil
 		}
+		if wire.Frozen[i-nPrim] == nil {
+			return nil, nil // sealed raw generation, reconstructed below
+		}
 		sh, err := core.UnmarshalShard(wire.Frozen[i-nPrim], med)
 		if err != nil {
 			return nil, fmt.Errorf("store: load frozen %d: %w", i-nPrim, err)
@@ -173,7 +205,33 @@ func Load(r io.Reader, med *memsim.Medium) (*Store, error) {
 		return nil, err
 	}
 	s.primaries = frags[:nPrim:nPrim]
-	s.frozen = frags[nPrim:]
+	rawByGen := make(map[int]rawGenWire, len(wire.RawGens))
+	for _, rg := range wire.RawGens {
+		rawByGen[rg.Gen] = rg
+	}
+	s.frozen = make([]fragment, len(wire.Frozen))
+	for g := range wire.Frozen {
+		if sh := frags[nPrim+g]; sh != nil {
+			s.frozen[g] = fragment{shard: sh}
+			continue
+		}
+		rg, ok := rawByGen[g]
+		if !ok {
+			return nil, fmt.Errorf("store: load: raw generation %d missing", g)
+		}
+		raw := logstore.New(nodeSchema, edgeSchema, med, g)
+		for _, n := range rg.Nodes {
+			if err := raw.AddNode(n.ID, n.Props); err != nil {
+				return nil, fmt.Errorf("store: load raw gen %d node %d: %w", g, n.ID, err)
+			}
+		}
+		for _, e := range rg.Edges {
+			if err := raw.AddEdge(e); err != nil {
+				return nil, fmt.Errorf("store: load raw gen %d edge: %w", g, err)
+			}
+		}
+		s.frozen[g] = fragment{raw: raw}
+	}
 	s.log = logstore.New(nodeSchema, edgeSchema, med, len(s.frozen))
 	for _, n := range wire.LogNodes {
 		if err := s.log.AddNode(n.ID, n.Props); err != nil {
@@ -191,6 +249,9 @@ func Load(r io.Reader, med *memsim.Medium) (*Store, error) {
 	for _, dw := range wire.DeletedPhys {
 		if dw.Fragment < 0 || dw.Fragment >= len(frags) {
 			return nil, fmt.Errorf("store: load: fragment index %d out of range", dw.Fragment)
+		}
+		if frags[dw.Fragment] == nil {
+			continue // raw generations carry no positional marks
 		}
 		ref := shardEdgeRef{frags[dw.Fragment], dw.Src, dw.EType}
 		m := make(map[int]bool, len(dw.Indexes))

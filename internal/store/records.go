@@ -6,6 +6,7 @@ import (
 
 	"zipg/internal/core"
 	"zipg/internal/layout"
+	"zipg/internal/logstore"
 	"zipg/internal/telemetry"
 )
 
@@ -63,7 +64,14 @@ func (s *Store) getEdgeRecordLocked(src layout.NodeID, etype layout.EdgeType) (*
 		return nil, false
 	}
 	r := &EdgeRecord{Src: src, Type: etype}
-	for _, sh := range s.fragmentsOfLocked(src) {
+	for _, f := range s.fragmentsOfLocked(src) {
+		if f.raw != nil {
+			if es := s.rawEdgeEntriesLocked(f.raw, src, etype); len(es) > 0 {
+				r.pieces = append(r.pieces, recordPiece{edges: es})
+			}
+			continue
+		}
+		sh := f.shard
 		if ref, ok := sh.Edges().GetEdgeRecord(src, etype); ok {
 			r.pieces = append(r.pieces, recordPiece{
 				shard:   sh,
@@ -95,8 +103,14 @@ func (s *Store) GetEdgeRecords(src layout.NodeID) []*EdgeRecord {
 		return nil
 	}
 	types := make(map[layout.EdgeType]bool)
-	for _, sh := range s.fragmentsOfLocked(src) {
-		for _, ref := range sh.Edges().GetEdgeRecords(src) {
+	for _, f := range s.fragmentsOfLocked(src) {
+		if f.raw != nil {
+			for _, t := range f.raw.EdgeTypes(src) {
+				types[t] = true
+			}
+			continue
+		}
+		for _, ref := range f.shard.Edges().GetEdgeRecords(src) {
 			types[ref.Type] = true
 		}
 	}
@@ -117,6 +131,24 @@ func (s *Store) GetEdgeRecords(src layout.NodeID) []*EdgeRecord {
 		}
 	}
 	return out
+}
+
+// rawEdgeEntriesLocked returns one sealed raw generation's (src, etype)
+// edges with tombstoned triples filtered out, timestamp-sorted. Callers
+// hold s.mu.
+func (s *Store) rawEdgeEntriesLocked(raw *logstore.LogStore, src layout.NodeID, etype layout.EdgeType) []layout.Edge {
+	es := raw.EdgeEntries(src, etype)
+	dels := s.rawDels[raw]
+	if len(dels) == 0 {
+		return es
+	}
+	kept := es[:0]
+	for _, e := range es {
+		if !dels[edgeTriple{e.Src, e.Type, e.Dst}] {
+			kept = append(kept, e)
+		}
+	}
+	return kept
 }
 
 // hasLogPtrLocked reports whether src has an update pointer into the

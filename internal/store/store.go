@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zipg/internal/bitutil"
 	"zipg/internal/core"
@@ -52,6 +53,28 @@ type Config struct {
 	// from its accumulated read counts: hot partitions get denser
 	// samples (faster random access), cold ones compress harder.
 	AutoTuneAlpha bool
+	// DisableGroupCommit makes every append take the store lock
+	// individually (the pre-group-commit write path). Exists for the
+	// ingest-bench ablation; leave false in production.
+	DisableGroupCommit bool
+	// BackgroundCompaction moves LogStore rollover compression off the
+	// write path: crossing the threshold seals the log into a raw
+	// frozen generation (O(1) under the lock) and a background worker
+	// compresses it. Implied by CompactInterval/CompactAfterRollovers.
+	BackgroundCompaction bool
+	// CompactInterval, when positive, runs a full online compaction
+	// every interval on the background worker.
+	CompactInterval time.Duration
+	// CompactAfterRollovers, when positive, runs a full online
+	// compaction once that many rollovers have accumulated since the
+	// last one.
+	CompactAfterRollovers int
+}
+
+// backgroundEnabled reports whether the configuration asks for the
+// background compaction worker.
+func (c Config) backgroundEnabled() bool {
+	return c.BackgroundCompaction || c.CompactInterval > 0 || c.CompactAfterRollovers > 0
 }
 
 type shardEdgeRef struct {
@@ -60,21 +83,60 @@ type shardEdgeRef struct {
 	etype layout.EdgeType
 }
 
+// edgeTriple names one logical delete target: every (src, etype, dst)
+// edge. It keys the tombstones laid over sealed raw generations and
+// the replay log an online compaction applies at swap.
+type edgeTriple struct {
+	src   layout.NodeID
+	etype layout.EdgeType
+	dst   layout.NodeID
+}
+
+// fragment is one frozen generation: either a compressed shard or a
+// sealed raw LogStore awaiting background compression. Exactly one
+// field is non-nil. Fragments are immutable values — every change to
+// s.frozen replaces the whole slice (copy-on-write), so readers may
+// snapshot the slice header under RLock and keep using it lock-free.
+type fragment struct {
+	shard *core.Shard
+	raw   *logstore.LogStore
+}
+
 // Store is a complete single-machine ZipG instance.
 type Store struct {
 	cfg        Config
 	nodeSchema *layout.PropertySchema
 	edgeSchema *layout.PropertySchema
 
-	// primaries are the initial hash partitions; immutable.
-	primaries []*core.Shard
+	// buildMu serializes heavyweight rebuilds: background compression
+	// of sealed generations and online compactions. At most one build
+	// is in flight, which is what lets the delete-replay log attribute
+	// its entries to exactly one pending swap.
+	buildMu sync.Mutex
 
-	mu           sync.RWMutex
-	frozen       []*core.Shard // rolled-over LogStores, generation order
+	mu sync.RWMutex
+	// primaries are the current hash partitions. The slice is replaced
+	// wholesale (never mutated in place) so read paths may snapshot it
+	// under RLock and use it lock-free.
+	primaries    []*core.Shard
+	frozen       []fragment // rolled-over LogStores, generation order; COW
 	log          *logstore.LogStore
 	ptrs         map[layout.NodeID][]int // update pointers: node -> generations
 	deletedNodes map[layout.NodeID]bool
 	deletedPhys  map[shardEdgeRef]map[int]bool // lazily deleted edges in shards
+	// rawDels tombstones deletes against sealed raw generations (which
+	// are immutable, so their entries cannot be removed in place).
+	// Keyed by the sealed LogStore pointer: stable across the
+	// generation renumbering a compaction swap performs.
+	rawDels map[*logstore.LogStore]map[edgeTriple]bool
+
+	// Delete-replay state for the single in-flight build (see buildMu):
+	// deletes that land while a rebuild runs against an older snapshot
+	// are recorded here and re-applied to the freshly built fragments
+	// at swap, so a rebuild never resurrects deleted data.
+	replaying      bool
+	replayEdgeDels []edgeTriple
+	replayNodeDels map[layout.NodeID]bool
 
 	// shardReads counts reads routed to each primary partition since
 	// the last compaction — the per-shard heat signal Compact's α
@@ -86,6 +148,14 @@ type Store struct {
 	tunedAlpha []int
 
 	rollovers int
+	// rolloversSinceCompact drives the background compaction trigger.
+	rolloversSinceCompact int
+
+	// wc is the group-commit coordinator for the append path.
+	wc writeCoordinator
+	// bg is the background compaction worker (nil unless enabled).
+	bg        *backgroundCompactor
+	closeOnce sync.Once
 }
 
 // New builds a store over the initial graph, hash-partitioning nodes (and
@@ -104,8 +174,10 @@ func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layou
 		ptrs:         make(map[layout.NodeID][]int),
 		deletedNodes: make(map[layout.NodeID]bool),
 		deletedPhys:  make(map[shardEdgeRef]map[int]bool),
+		rawDels:      make(map[*logstore.LogStore]map[edgeTriple]bool),
 		shardReads:   make([]atomic.Int64, cfg.NumShards),
 	}
+	s.wc.init(cfg.NumShards)
 
 	partNodes := make([][]layout.Node, cfg.NumShards)
 	partEdges := make([][]layout.Edge, cfg.NumShards)
@@ -133,7 +205,24 @@ func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layou
 	}
 	s.primaries = shards
 	s.log = logstore.New(nodeSchema, edgeSchema, cfg.Medium, 0)
+	if cfg.backgroundEnabled() {
+		s.bg = startBackground(s, cfg.CompactInterval)
+	}
 	return s, nil
+}
+
+// Close stops the background compaction worker (if any) and waits for
+// an in-flight rebuild to finish. Safe to call multiple times; a store
+// without background compaction needs no Close.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.bg != nil {
+			s.bg.stop()
+		}
+		// Wait out any rebuild still holding the build lock.
+		s.buildMu.Lock()
+		s.buildMu.Unlock() //nolint:staticcheck // barrier, not a critical section
+	})
 }
 
 // partitionOf returns the primary shard index for a node ID. The
@@ -172,19 +261,32 @@ func (s *Store) addPtrLocked(id layout.NodeID, gen int) {
 // list (Table 1's append(nodeID, PropertyList); updates are
 // delete-followed-by-append per §3.5, which this implements atomically).
 //
-// The LogStore append and the update-pointer write happen under the
-// store lock: a rollover sneaking between them would freeze the data
-// into generation g while the pointer records g+1, losing the write.
+// Validation and serialization-size accounting run outside any lock;
+// publication rides the group committer: the writer enqueues a
+// prepared put on its partition's queue and either leads one commit
+// (draining every queue into the LogStore in a single short critical
+// section) or waits for a concurrent leader to publish it. The
+// LogStore append and the update-pointer write still land under the
+// same store-lock acquisition: a rollover sneaking between them would
+// freeze the data into generation g while the pointer records g+1,
+// losing the write.
 func (s *Store) AppendNode(id layout.NodeID, props map[string]string) error {
 	mOpAppendNode.Inc()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.log.AddNode(id, props); err != nil {
+	put, err := logstore.PrepareNodePut(s.nodeSchema, id, props)
+	if err != nil {
 		return err
 	}
-	delete(s.deletedNodes, id)
-	s.addPtrLocked(id, s.curGenLocked())
-	return s.maybeRolloverLocked()
+	if s.cfg.DisableGroupCommit {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.log.AddNode(id, props); err != nil {
+			return err
+		}
+		delete(s.deletedNodes, id)
+		s.addPtrLocked(id, s.curGenLocked())
+		return s.maybeRolloverLocked()
+	}
+	return s.submitWrite(s.partitionOf(id), put)
 }
 
 // AppendEdge appends one edge (Table 1's append(nodeID, edgeType,
@@ -194,6 +296,10 @@ func (s *Store) AppendNode(id layout.NodeID, props map[string]string) error {
 // discipline.
 func (s *Store) AppendEdge(e layout.Edge) error {
 	mOpAppendEdge.Inc()
+	put, err := logstore.PrepareEdgePut(s.edgeSchema, e)
+	if err != nil {
+		return err
+	}
 	for _, id := range []layout.NodeID{e.Src, e.Dst} {
 		if !s.HasNode(id) {
 			if err := s.AppendNode(id, nil); err != nil {
@@ -201,13 +307,16 @@ func (s *Store) AppendEdge(e layout.Edge) error {
 			}
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.log.AddEdge(e); err != nil {
-		return err
+	if s.cfg.DisableGroupCommit {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.log.AddEdge(e); err != nil {
+			return err
+		}
+		s.addPtrLocked(e.Src, s.curGenLocked())
+		return s.maybeRolloverLocked()
 	}
-	s.addPtrLocked(e.Src, s.curGenLocked())
-	return s.maybeRolloverLocked()
+	return s.submitWrite(s.partitionOf(e.Src), put)
 }
 
 // DeleteNode lazily deletes a node: reads of its properties and edges
@@ -221,19 +330,31 @@ func (s *Store) DeleteNode(id layout.NodeID) {
 	// outside would race (and could drop the removal into a log that
 	// was just frozen).
 	s.log.RemoveNode(id)
+	if s.replaying {
+		if s.replayNodeDels == nil {
+			s.replayNodeDels = make(map[layout.NodeID]bool)
+		}
+		s.replayNodeDels[id] = true
+	}
 	s.mu.Unlock()
 }
 
 // DeleteEdges deletes all (src, etype, dst) edges (Table 1's
 // delete(nodeID, edgeType, destinationID)): LogStore entries are removed
-// directly; compressed fragments get lazy per-position deletion marks.
+// directly; compressed fragments get lazy per-position deletion marks;
+// sealed raw generations (immutable) get triple-level tombstones.
 func (s *Store) DeleteEdges(src layout.NodeID, etype layout.EdgeType, dst layout.NodeID) int {
 	mOpDeleteEdges.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// s.log is only stable under the store lock (rollover swaps it).
 	removed := s.log.RemoveEdges(src, etype, dst)
-	for _, sh := range s.fragmentsOfLocked(src) {
+	for _, f := range s.fragmentsOfLocked(src) {
+		if f.raw != nil {
+			removed += s.tombstoneRawLocked(f.raw, src, etype, dst)
+			continue
+		}
+		sh := f.shard
 		ref, ok := sh.Edges().GetEdgeRecord(src, etype)
 		if !ok {
 			continue
@@ -251,17 +372,41 @@ func (s *Store) DeleteEdges(src layout.NodeID, etype layout.EdgeType, dst layout
 			removed++
 		}
 	}
+	if s.replaying {
+		// A rebuild is running against an older snapshot; record the
+		// delete so the swap re-applies it to the fresh fragments.
+		s.replayEdgeDels = append(s.replayEdgeDels, edgeTriple{src, etype, dst})
+	}
 	return removed
 }
 
-// fragmentsOfLocked returns the compressed fragments that may hold data
-// for a node: its primary shard plus every frozen generation its update
+// tombstoneRawLocked records a delete against one sealed raw generation
+// and returns how many live edge entries it newly shadows. Callers hold
+// s.mu.
+func (s *Store) tombstoneRawLocked(raw *logstore.LogStore, src layout.NodeID, etype layout.EdgeType, dst layout.NodeID) int {
+	t := edgeTriple{src, etype, dst}
+	if s.rawDels[raw][t] {
+		return 0
+	}
+	n := raw.CountEdges(src, etype, dst)
+	if n == 0 {
+		return 0
+	}
+	if s.rawDels[raw] == nil {
+		s.rawDels[raw] = make(map[edgeTriple]bool)
+	}
+	s.rawDels[raw][t] = true
+	return n
+}
+
+// fragmentsOfLocked returns the frozen fragments that may hold data for
+// a node: its primary shard plus every frozen generation its update
 // pointers name (or, with fanned updates disabled, every frozen
 // fragment). Callers hold s.mu.
-func (s *Store) fragmentsOfLocked(id layout.NodeID) []*core.Shard {
+func (s *Store) fragmentsOfLocked(id layout.NodeID) []fragment {
 	p := s.partitionOf(id)
 	s.noteRead(p)
-	out := []*core.Shard{s.primaries[p]}
+	out := []fragment{{shard: s.primaries[p]}}
 	if s.cfg.DisableFannedUpdates {
 		return append(out, s.frozen...)
 	}
@@ -273,10 +418,19 @@ func (s *Store) fragmentsOfLocked(id layout.NodeID) []*core.Shard {
 	return out
 }
 
-// maybeRolloverLocked freezes the LogStore into a new compressed shard
-// when it crosses the threshold. Callers hold s.mu.
+// maybeRolloverLocked freezes the LogStore into a new frozen generation
+// when it crosses the threshold. With background compaction enabled the
+// freeze is O(1): the live log is sealed as an immutable raw fragment
+// and the worker compresses it later, off the write path. Otherwise the
+// compressed shard is built synchronously under the lock (the seed
+// behavior). Callers hold s.mu.
 func (s *Store) maybeRolloverLocked() error {
 	if s.log.Size() < s.cfg.LogStoreThreshold {
+		return nil
+	}
+	if s.bg != nil {
+		s.sealLogLocked()
+		s.bg.kick()
 		return nil
 	}
 	tm := telemetry.StartTimer()
@@ -286,12 +440,29 @@ func (s *Store) maybeRolloverLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: rollover: %w", err)
 	}
-	s.frozen = append(s.frozen, sh)
+	frozen := make([]fragment, len(s.frozen), len(s.frozen)+1)
+	copy(frozen, s.frozen)
+	s.frozen = append(frozen, fragment{shard: sh})
 	s.log = logstore.New(s.nodeSchema, s.edgeSchema, s.cfg.Medium, len(s.frozen))
 	s.rollovers++
+	s.rolloversSinceCompact++
 	mRollovers.Inc()
 	tm.ObserveInto(mRolloverNs)
 	return nil
+}
+
+// sealLogLocked freezes the live LogStore into an immutable raw frozen
+// generation and starts a fresh live log. The sealed generation keeps
+// its generation number (update pointers stay valid: the slot it lands
+// in is exactly the gen the live log had). Callers hold s.mu.
+func (s *Store) sealLogLocked() {
+	frozen := make([]fragment, len(s.frozen), len(s.frozen)+1)
+	copy(frozen, s.frozen)
+	s.frozen = append(frozen, fragment{raw: s.log})
+	s.log = logstore.New(s.nodeSchema, s.edgeSchema, s.cfg.Medium, len(s.frozen))
+	s.rollovers++
+	s.rolloversSinceCompact++
+	mRollovers.Inc()
 }
 
 // Rollovers returns how many LogStore freezes have happened.
@@ -339,8 +510,12 @@ func (s *Store) CompressedFootprint() int64 {
 	for _, sh := range s.primaries {
 		total += int64(sh.CompressedSize())
 	}
-	for _, sh := range s.frozen {
-		total += int64(sh.CompressedSize())
+	for _, f := range s.frozen {
+		if f.raw != nil {
+			total += f.raw.Size()
+			continue
+		}
+		total += int64(f.shard.CompressedSize())
 	}
 	return total + s.log.Size()
 }
@@ -418,6 +593,7 @@ func (s *Store) getNodeProps(id layout.NodeID, propertyIDs []string, sp *telemet
 	gens := s.nodeGensLocked(id)
 	log := s.log
 	frozen := s.frozen
+	primaries := s.primaries
 	s.mu.RUnlock()
 
 	consulted := 0
@@ -438,8 +614,19 @@ func (s *Store) getNodeProps(id layout.NodeID, propertyIDs []string, sp *telemet
 			continue
 		}
 		consulted++
+		if raw := frozen[g].raw; raw != nil {
+			endLog := sp.Phase("logstore")
+			props, ok := raw.NodeProps(id)
+			endLog()
+			if ok {
+				sp.MarkLogStore()
+				observeFragments(sp, consulted)
+				return propsToValues(props, propertyIDs, s.nodeSchema), true
+			}
+			continue
+		}
 		endWalk := sp.Phase("succinct_walk")
-		vals, ok := frozen[g].Nodes().GetProperties(id, propertyIDs)
+		vals, ok := frozen[g].shard.Nodes().GetProperties(id, propertyIDs)
 		endWalk()
 		if ok {
 			sp.MarkNodeFile()
@@ -451,7 +638,7 @@ func (s *Store) getNodeProps(id layout.NodeID, propertyIDs []string, sp *telemet
 	}
 	p := s.partitionOf(id)
 	endWalk := sp.Phase("succinct_walk")
-	vals, ok := s.primaries[p].Nodes().GetProperties(id, propertyIDs)
+	vals, ok := primaries[p].Nodes().GetProperties(id, propertyIDs)
 	endWalk()
 	if ok {
 		sp.MarkNodeFile()
@@ -567,7 +754,7 @@ func (s *Store) FindNodes(props map[string]string) []layout.NodeID {
 	defer tm.ObserveInto(mLatFindNodes)
 	s.mu.RLock()
 	primaries := s.primaries
-	frozen := append([]*core.Shard(nil), s.frozen...)
+	frozen := s.frozen
 	log := s.log
 	s.mu.RUnlock()
 
@@ -579,7 +766,11 @@ func (s *Store) FindNodes(props map[string]string) []layout.NodeID {
 		case i < len(primaries):
 			return primaries[i].Nodes().FindNodes(props)
 		case i < len(primaries)+len(frozen):
-			return frozen[i-len(primaries)].Nodes().FindNodes(props)
+			f := frozen[i-len(primaries)]
+			if f.raw != nil {
+				return f.raw.FindNodes(props)
+			}
+			return f.shard.Nodes().FindNodes(props)
 		default:
 			return log.FindNodes(props)
 		}
@@ -627,9 +818,11 @@ func (s *Store) HasNodeCtx(ctx context.Context, id layout.NodeID) bool {
 }
 
 // edgeHit is one fragment-local edge-search match: the decoded edge
-// plus the coordinates needed to check its lazy-deletion mark.
+// plus the coordinates needed to check its lazy-deletion mark (shard
+// hits) or raw-generation tombstone (sealed-log hits).
 type edgeHit struct {
-	sh        *core.Shard // nil for a LogStore hit
+	sh        *core.Shard        // non-nil for a compressed-shard hit
+	raw       *logstore.LogStore // non-nil for a sealed raw-generation hit
 	timeOrder int
 	e         layout.Edge
 }
@@ -650,14 +843,16 @@ func (s *Store) FindEdges(props map[string]string) []layout.Edge {
 	tm := telemetry.StartTimer()
 	defer tm.ObserveInto(mLatFindEdges)
 	s.mu.RLock()
-	shards := make([]*core.Shard, 0, len(s.primaries)+len(s.frozen))
-	shards = append(shards, s.primaries...)
-	shards = append(shards, s.frozen...)
+	frags := make([]fragment, 0, len(s.primaries)+len(s.frozen))
+	for _, sh := range s.primaries {
+		frags = append(frags, fragment{shard: sh})
+	}
+	frags = append(frags, s.frozen...)
 	log := s.log
 	s.mu.RUnlock()
 
-	perFrag := parallel.Map("store.find_edges", len(shards)+1, func(i int) []edgeHit {
-		if i == len(shards) {
+	perFrag := parallel.Map("store.find_edges", len(frags)+1, func(i int) []edgeHit {
+		if i == len(frags) {
 			es := log.FindEdges(props)
 			hits := make([]edgeHit, 0, len(es))
 			for _, e := range es {
@@ -665,7 +860,15 @@ func (s *Store) FindEdges(props map[string]string) []layout.Edge {
 			}
 			return hits
 		}
-		sh := shards[i]
+		if raw := frags[i].raw; raw != nil {
+			es := raw.FindEdges(props)
+			hits := make([]edgeHit, 0, len(es))
+			for _, e := range es {
+				hits = append(hits, edgeHit{raw: raw, e: e})
+			}
+			return hits
+		}
+		sh := frags[i].shard
 		var hits []edgeHit
 		// Matches cluster by (src, type); locating a record is itself a
 		// compressed search, so resolve each record once and share the
@@ -707,6 +910,9 @@ func (s *Store) FindEdges(props map[string]string) []layout.Edge {
 				continue
 			}
 			if h.sh != nil && s.deletedPhys[shardEdgeRef{h.sh, h.e.Src, h.e.Type}][h.timeOrder] {
+				continue
+			}
+			if h.raw != nil && s.rawDels[h.raw][edgeTriple{h.e.Src, h.e.Type, h.e.Dst}] {
 				continue
 			}
 			out = append(out, h.e)

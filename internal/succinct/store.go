@@ -24,6 +24,7 @@ package succinct
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"zipg/internal/bitutil"
@@ -196,6 +197,11 @@ func Build(text []byte, opts Options) *Store {
 	for b := range s.bucketChar {
 		s.psi[b] = encodeRegion(psiCodec, bucketVals(b), true, 0)
 		psiBytes += s.psi[b].SizeBytes()
+		// Builds run as background work (rollover compression, online
+		// compaction) racing foreground queries; yield between buckets so
+		// query latency is bounded by one bucket's encode, not the whole
+		// Ψ region's.
+		runtime.Gosched()
 	}
 	s.psiBytesPerRow = float64(psiBytes) / float64(n)
 

@@ -23,6 +23,7 @@ package zipg
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"zipg/internal/bitutil"
 	"zipg/internal/graphapi"
@@ -84,6 +85,22 @@ type Options struct {
 	// from the reads it drew since the last compaction: hot shards get
 	// denser samples, cold shards compress harder.
 	AutoTuneAlpha bool
+	// DisableGroupCommit makes every append take the store lock
+	// individually instead of batching through the group committer.
+	// Exists for the ingest-bench ablation; leave false in production.
+	DisableGroupCommit bool
+	// BackgroundCompaction moves write-log rollover compression off the
+	// write path: crossing the threshold seals the log O(1) and a
+	// background worker compresses it. Implied by CompactInterval or
+	// CompactAfterRollovers.
+	BackgroundCompaction bool
+	// CompactInterval, when positive, runs a full online compaction
+	// every interval on the background worker.
+	CompactInterval time.Duration
+	// CompactAfterRollovers, when positive, runs a full online
+	// compaction once that many log rollovers have accumulated since
+	// the last one.
+	CompactAfterRollovers int
 }
 
 // Graph is a single-machine ZipG store. It is safe for concurrent use;
@@ -158,12 +175,16 @@ func CompressWithSchemas(data GraphData, nodeSchema, edgeSchema *layout.Property
 		}
 	}
 	s, err := store.New(data.Nodes, data.Edges, nodeSchema, edgeSchema, store.Config{
-		NumShards:         opts.NumShards,
-		SamplingRate:      opts.SamplingRate,
-		Medium:            opts.Medium,
-		LogStoreThreshold: opts.LogStoreThreshold,
-		Codec:             policy,
-		AutoTuneAlpha:     opts.AutoTuneAlpha,
+		NumShards:             opts.NumShards,
+		SamplingRate:          opts.SamplingRate,
+		Medium:                opts.Medium,
+		LogStoreThreshold:     opts.LogStoreThreshold,
+		Codec:                 policy,
+		AutoTuneAlpha:         opts.AutoTuneAlpha,
+		DisableGroupCommit:    opts.DisableGroupCommit,
+		BackgroundCompaction:  opts.BackgroundCompaction,
+		CompactInterval:       opts.CompactInterval,
+		CompactAfterRollovers: opts.CompactAfterRollovers,
 	})
 	if err != nil {
 		return nil, err
@@ -343,9 +364,17 @@ func (g *Graph) FindEdges(props map[string]string) []Edge {
 // primary shards, frozen write-log generations and the live log — is
 // merged into fresh compressed shards, lazily-deleted data is dropped
 // physically, and all update pointers reset. Afterwards every node's
-// data is whole again (FragmentsOf == 1). Compact blocks writers for
-// its duration.
+// data is whole again (FragmentsOf == 1). Compaction is online: the
+// rebuild runs against an immutable snapshot while reads and writes
+// proceed, with only two brief pauses to seal the log and swap in the
+// fresh shards.
 func (g *Graph) Compact() error { return g.s.Compact() }
+
+// Close stops the background compaction worker, if one is running, and
+// waits for any in-flight build to finish. The graph remains readable
+// after Close; further compaction only happens via explicit Compact
+// calls. Safe to call multiple times.
+func (g *Graph) Close() { g.s.Close() }
 
 // Store exposes the underlying store for advanced integrations (the
 // benchmark harness and the cluster server build on it).
