@@ -11,6 +11,14 @@
 //	add-edge <src> <dst> <type> <ts> [k=v...]
 //	del-node <id>                   delete
 //	del-edge <src> <type> <dst>     delete
+//	window <id> <type> <tLo> <tHi>  assoc_time_range (in-window edges)
+//	wcount <id> <type> <tLo> <tHi>  assoc_count_in_window
+//	path <src> <dst> <tLo> <tHi> <maxHops>
+//	                                temporal reachability in the window
+//	subscribe [node=N] [etype=T] [max=N] [since=S] [part=P]
+//	                                stream live change events: local
+//	                                engine directly, or -admin's
+//	                                /stream/subscribe NDJSON feed
 //	save <path> / load <path>       persist / restore (local mode)
 //	trace [id]                      fetch + pretty-print a distributed
 //	                                span tree from -admin (no id: list)
@@ -22,6 +30,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +47,7 @@ import (
 	"zipg/internal/graphapi"
 	"zipg/internal/store"
 	"zipg/internal/telemetry"
+	"zipg/internal/temporal"
 )
 
 func main() {
@@ -100,6 +110,14 @@ func main() {
 				}
 			case fields[0] == "codecs":
 				if err := codecsCmd(local, *admin); err != nil {
+					fmt.Println("error:", err)
+				}
+			case fields[0] == "window" || fields[0] == "wcount" || fields[0] == "path":
+				if err := temporalCmd(store, local, fields); err != nil {
+					fmt.Println("error:", err)
+				}
+			case fields[0] == "subscribe":
+				if err := subscribeCmd(local, *admin, fields[1:]); err != nil {
 					fmt.Println("error:", err)
 				}
 			case fields[0] == "load" && len(fields) == 2:
@@ -226,6 +244,146 @@ func printSpanTree(n *telemetry.TraceNode, depth int) {
 	for _, c := range n.Children {
 		printSpanTree(c, depth+1)
 	}
+}
+
+// temporalCmd runs the windowed analytics / temporal reachability
+// commands: on the local engine directly, or through the cluster
+// client's routed temporal calls.
+func temporalCmd(s graphapi.Store, local *zipg.Graph, args []string) error {
+	cl, _ := s.(*cluster.Client)
+	if local == nil && cl == nil {
+		return fmt.Errorf("temporal commands need local mode or a cluster connection")
+	}
+	switch args[0] {
+	case "window", "wcount":
+		if len(args) != 5 {
+			return fmt.Errorf("usage: %s <id> <type> <tLo> <tHi>", args[0])
+		}
+		var vals [4]int64
+		for i := range vals {
+			v, err := parseID(args[1+i])
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		id, etype, tLo, tHi := vals[0], vals[1], vals[2], vals[3]
+		if args[0] == "wcount" {
+			if local != nil {
+				fmt.Println(local.AssocCountInWindow(id, etype, tLo, tHi))
+			} else {
+				fmt.Println(cl.AssocCountInWindow(id, etype, tLo, tHi))
+			}
+			return nil
+		}
+		var edges []graphapi.EdgeData
+		if local != nil {
+			edges = local.AssocTimeRange(id, etype, tLo, tHi, 0)
+		} else {
+			edges = cl.AssocTimeRange(id, etype, tLo, tHi, 0)
+		}
+		fmt.Printf("count=%d\n", len(edges))
+		for i, d := range edges {
+			fmt.Printf("  [%d] dst=%d ts=%d props=%v\n", i, d.Dst, d.Timestamp, d.Props)
+		}
+	case "path":
+		if len(args) != 6 {
+			return fmt.Errorf("usage: path <src> <dst> <tLo> <tHi> <maxHops>")
+		}
+		var vals [5]int64
+		for i := range vals {
+			v, err := parseID(args[1+i])
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		var res zipg.PathResult
+		if local != nil {
+			res = local.PathInWindow(vals[0], vals[1], vals[2], vals[3], int(vals[4]))
+		} else {
+			res = cl.PathInWindow(vals[0], vals[1], vals[2], vals[3], int(vals[4]))
+		}
+		if !res.Found {
+			fmt.Println("no path")
+			return nil
+		}
+		fmt.Printf("found: %d hops, path %v\n", res.Hops, res.Path)
+	}
+	return nil
+}
+
+// subscribeCmd streams live change events. Local mode subscribes on
+// the graph's engine and polls until max events (default 16) arrive;
+// cluster mode streams the -admin endpoint's NDJSON change feed.
+// Interrupt with Ctrl-C (the whole shell exits) or bound with max=N.
+func subscribeCmd(local *zipg.Graph, admin string, args []string) error {
+	params, err := parseProps(args)
+	if err != nil {
+		return err
+	}
+	max := 16
+	if v, ok := params["max"]; ok {
+		if max, err = strconv.Atoi(v); err != nil {
+			return err
+		}
+	}
+	if local != nil {
+		var f zipg.SubscriptionFilter
+		if v, ok := params["node"]; ok {
+			n, err := parseID(v)
+			if err != nil {
+				return err
+			}
+			f.Node, f.HasNode = n, true
+		}
+		if v, ok := params["etype"]; ok {
+			t, err := parseID(v)
+			if err != nil {
+				return err
+			}
+			f.Type, f.HasType = t, true
+		}
+		sub := local.Subscribe(f, 0)
+		defer sub.Close()
+		fmt.Printf("subscribed (waiting for up to %d events; run writes from another command)\n", max)
+		seen := 0
+		for seen < max {
+			evs, err := sub.Next(context.Background(), max-seen)
+			if err != nil || evs == nil {
+				return err
+			}
+			for _, ev := range evs {
+				b, _ := json.Marshal(temporal.ToWire(ev))
+				fmt.Println(string(b))
+				seen++
+			}
+		}
+		return nil
+	}
+	if admin == "" {
+		return fmt.Errorf("subscribe requires local mode or -admin host:port (a zipg-server admin endpoint)")
+	}
+	if !strings.Contains(admin, "://") {
+		admin = "http://" + admin
+	}
+	q := make([]string, 0, len(params)+1)
+	q = append(q, fmt.Sprintf("max=%d", max))
+	for _, k := range []string{"node", "etype", "since", "part"} {
+		if v, ok := params[k]; ok {
+			q = append(q, k+"="+v)
+		}
+	}
+	resp, err := http.Get(admin + "/stream/subscribe?" + strings.Join(q, "&"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s from %s/stream/subscribe", resp.Status, admin)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 // saveLocal persists a local graph to path.

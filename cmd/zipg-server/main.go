@@ -23,6 +23,7 @@ import (
 	"zipg/internal/cluster"
 	"zipg/internal/datafile"
 	"zipg/internal/telemetry"
+	"zipg/internal/temporal"
 )
 
 func main() {
@@ -104,6 +105,9 @@ func main() {
 	srv.ConnectPeers(peerList)
 	fmt.Printf("server %d: serving on %s\n", *id, bound)
 
+	// The change feed streams this partition's events as chunked NDJSON.
+	telemetry.RegisterAdminStream("subscribe", temporal.StreamHandler(srv.Temporal()))
+
 	telemetry.SetSlowThreshold(*slowThreshold)
 	var adminSrv *telemetry.AdminServer
 	if *admin != "" {
@@ -113,7 +117,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer adminSrv.Close()
-		fmt.Printf("server %d: admin endpoints on http://%s (/metrics /healthz /debug/vars /debug/traces /debug/trace/{id} /debug/slow /debug/codecs /debug/pprof)\n",
+		fmt.Printf("server %d: admin endpoints on http://%s (/metrics /healthz /debug/vars /debug/traces /debug/trace/{id} /debug/slow /debug/codecs /debug/pprof /stream/subscribe)\n",
 			*id, adminSrv.Addr)
 	}
 

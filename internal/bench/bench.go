@@ -279,6 +279,10 @@ var Experiments = map[string]func(Options) (*Result, error){
 	// writers (no paper figure; §3.5's write log and §4.1's GC, with
 	// the stop-the-world pauses engineered out — see DESIGN.md).
 	"ingest-bench": IngestBench,
+	// Temporal engine: windowed scans with hot-header pruning, live
+	// subscription delivery lag, temporal reachability (no paper
+	// figure; the temporal layer in DESIGN.md).
+	"temporal-bench": TemporalBench,
 }
 
 // ExperimentNames returns the runnable experiment IDs, sorted.

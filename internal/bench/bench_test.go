@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -269,8 +270,8 @@ func TestBuildSystemUnknown(t *testing.T) {
 
 func TestExperimentNames(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 23 {
-		t.Fatalf("want 23 experiments, got %d: %v", len(names), names)
+	if len(names) != 24 {
+		t.Fatalf("want 24 experiments, got %d: %v", len(names), names)
 	}
 }
 
@@ -287,6 +288,35 @@ func TestIngestBenchShape(t *testing.T) {
 		if !strings.HasSuffix(row[3], "x") {
 			t.Errorf("row %q: want ratio cell, got %q", row[0], row[3])
 		}
+	}
+}
+
+func TestTemporalBenchShape(t *testing.T) {
+	r := runExperiment(t, "temporal-bench")
+	// The experiment hard-errors on sequence gaps with zero drops;
+	// assert the acceptance rows beyond that: the narrow window must
+	// prune at least half the fragment pieces, and the gap row must
+	// report zero (nothing was dropped under a run-sized ring).
+	rows := map[string][]string{}
+	for _, row := range r.Rows {
+		rows[row[0]] = row
+	}
+	narrow, ok := rows["window narrow (1/32 of range)"]
+	if !ok {
+		t.Fatalf("narrow-window row missing: %v", r.Rows)
+	}
+	var prunedPct int
+	if _, err := fmt.Sscanf(narrow[2], "pruned %d%%", &prunedPct); err != nil {
+		t.Fatalf("narrow-window detail unparseable: %q", narrow[2])
+	}
+	if prunedPct < 50 {
+		t.Errorf("narrow window pruned %d%% of pieces, want >= 50%%", prunedPct)
+	}
+	if gaps := rows["sequence gaps"]; gaps == nil || gaps[1] != "0" {
+		t.Errorf("sequence-gaps row missing or nonzero: %v", gaps)
+	}
+	if dropped := rows["events dropped"]; dropped == nil || dropped[1] != "0" {
+		t.Errorf("events-dropped row missing or nonzero: %v", dropped)
 	}
 }
 

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"zipg"
+	"zipg/internal/graphapi"
+	"zipg/internal/store"
+	"zipg/internal/telemetry"
+	"zipg/internal/workloads"
+)
+
+// TemporalBench exercises the temporal engine end to end:
+//
+//  1. Window sweep — edges are ingested in timestamp order through a
+//     small LogStore threshold, so successive rollovers freeze
+//     generations covering disjoint timestamp bands and every source
+//     node's record fragments across them. Windowed scans over narrow,
+//     mid and full windows then show the hot-header span pruning whole
+//     fragments: the pruned fraction comes from the store's temporal
+//     scan counters, and the acceptance bar is >=50% of fragment pieces
+//     skipped on narrow windows.
+//  2. Subscriber delivery lag — a firehose subscription rides along
+//     the 8-writer LinkBench write mix of ingest-bench; a concurrent
+//     consumer drains the ring and records publish-to-delivery lag per
+//     event (p50/p99), then the per-partition sequence numbers are
+//     checked gap-free.
+//  3. Temporal reachability — PathInWindow over the fragmented store.
+func TemporalBench(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+
+	// --- phase 1: window sweep over a time-fragmented store ---
+
+	d, err := datasetByName("lb-small", opts.BaseBytes)
+	if err != nil {
+		return nil, err
+	}
+	g, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes},
+		zipg.Options{NumShards: 2, SamplingRate: 32, LogStoreThreshold: opts.BaseBytes / 32})
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+
+	// Time-ordered ingest: timestamps advance strictly, so each frozen
+	// generation covers its own band — the regime where the hot-header
+	// span is decisive (appended-in-time-order edges, e.g. activity
+	// streams). Sources cycle so every record fragments across bands.
+	const (
+		srcNodes = 64
+		perSrc   = 96
+		etypes   = 2
+	)
+	tsBase := int64(1_500_000_000)
+	ts := tsBase
+	totalEdges := srcNodes * perSrc
+	for i := 0; i < totalEdges; i++ {
+		src := int64(i % srcNodes)
+		e := graphapi.Edge{
+			Src: src, Dst: int64((i*7 + 13) % d.NumNodes()),
+			Type: int64(i % etypes), Timestamp: ts,
+		}
+		if err := g.AppendEdge(e); err != nil {
+			return nil, err
+		}
+		ts += 1000
+	}
+	tsEnd := ts
+	span := tsEnd - tsBase
+	fragments := g.FragmentsOf(0)
+	if opts.Verbose {
+		fmt.Printf("temporal-bench: %d edges over %d sources, node 0 in %d fragments\n",
+			totalEdges, srcNodes, fragments)
+	}
+
+	wasEnabled := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(wasEnabled)
+
+	eng := g.Temporal()
+	type sweep struct {
+		name       string
+		lo, hi     int64
+		kops       float64
+		prunedFrac float64
+		edges      int
+	}
+	sweeps := []sweep{
+		{name: "narrow (1/32 of range)", lo: tsEnd - span/32, hi: tsEnd},
+		{name: "mid (1/4 of range)", lo: tsEnd - span/4, hi: tsEnd},
+		{name: "full range", lo: tsBase, hi: tsEnd},
+	}
+	const rounds = 4
+	for si := range sweeps {
+		s := &sweeps[si]
+		p0, pr0, _ := store.TemporalScanCounters()
+		t0 := time.Now()
+		n := 0
+		for r := 0; r < rounds; r++ {
+			for src := int64(0); src < srcNodes; src++ {
+				for et := int64(0); et < etypes; et++ {
+					s.edges += len(eng.AssocTimeRange(src, et, s.lo, s.hi, 0))
+					n++
+				}
+			}
+		}
+		el := time.Since(t0)
+		p1, pr1, _ := store.TemporalScanCounters()
+		s.kops = float64(n) / el.Seconds()
+		if p1 > p0 {
+			s.prunedFrac = float64(pr1-pr0) / float64(p1-p0)
+		}
+	}
+
+	// --- phase 2: subscriber delivery lag under the LinkBench write mix ---
+
+	var writeMix workloads.Frequencies
+	for _, k := range []workloads.OpKind{
+		workloads.OpAssocAdd, workloads.OpObjUpdate, workloads.OpObjAdd,
+		workloads.OpAssocDel, workloads.OpObjDel, workloads.OpAssocUpdate,
+	} {
+		writeMix[k] = workloads.LinkBenchMix[k]
+	}
+	const writers = 8
+	writeOps := workloads.GenerateOps(d, workloads.MixConfig{Mix: writeMix, AccessSkew: 1.4, Seed: 4407}, opts.Ops*writers)
+
+	g2, err := zipg.Compress(zipg.GraphData{Nodes: d.Nodes, Edges: d.Edges},
+		zipg.Options{NumShards: 4, SamplingRate: 32, LogStoreThreshold: opts.BaseBytes / 16})
+	if err != nil {
+		return nil, err
+	}
+	defer g2.Close()
+
+	// Firehose subscription sized for the run, so drops only reflect a
+	// consumer that truly cannot keep up.
+	sub := g2.Subscribe(zipg.SubscriptionFilter{}, len(writeOps)+64)
+	defer sub.Close()
+
+	var lags []time.Duration
+	var delivered int
+	gaps := 0
+	lastSeq := map[int]uint64{}
+	consumerDone := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		for {
+			evs, err := sub.Next(ctx, 512)
+			if err != nil {
+				consumerDone <- nil // canceled: writers finished, drained below
+				return
+			}
+			if evs == nil {
+				consumerDone <- nil
+				return
+			}
+			now := time.Now().UnixNano()
+			for _, ev := range evs {
+				delivered++
+				lags = append(lags, time.Duration(now-ev.At))
+				if last, ok := lastSeq[ev.Part]; ok && ev.Seq != last+1 {
+					gaps++
+				}
+				lastSeq[ev.Part] = ev.Seq
+			}
+		}
+	}()
+
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(writeOps); i += writers {
+				if _, err := workloads.Execute(g2, writeOps[i]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	writeElapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("temporal-bench: write mix: %w", err)
+		}
+	}
+	// Let the consumer catch the tail, then stop it and drain the rest
+	// synchronously (those events still count for lag + gap checks).
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	<-consumerDone
+	for _, ev := range sub.Poll(0) {
+		delivered++
+		now := time.Now().UnixNano()
+		lags = append(lags, time.Duration(now-ev.At))
+		if last, ok := lastSeq[ev.Part]; ok && ev.Seq != last+1 {
+			gaps++
+		}
+		lastSeq[ev.Part] = ev.Seq
+	}
+	dropped := sub.Dropped()
+	if gaps > 0 && dropped == 0 {
+		return nil, fmt.Errorf("temporal-bench: %d sequence gaps with zero drops", gaps)
+	}
+	lagP50, lagP99 := percentile(lags, 50), percentile(lags, 99)
+
+	// --- phase 3: temporal reachability on the fragmented store ---
+
+	pathWindowLo := tsBase + span/4
+	pathFound := 0
+	const pathQueries = 64
+	t0 = time.Now()
+	for i := 0; i < pathQueries; i++ {
+		src := int64(i % srcNodes)
+		dst := int64((i*31 + 7) % d.NumNodes())
+		if eng.PathInWindow(src, dst, pathWindowLo, tsEnd, 4).Found {
+			pathFound++
+		}
+	}
+	pathKops := float64(pathQueries) / time.Since(t0).Seconds()
+
+	r := &Result{
+		Title:   "Temporal bench: windowed scans, live subscriptions, temporal reachability",
+		Headers: []string{"metric", "value", "detail"},
+		Notes: []string{
+			fmt.Sprintf("window sweep: %d sources x %d types x %d rounds per window; node 0 fragmented across %d pieces", srcNodes, etypes, rounds, fragments),
+			"pruned = fragment pieces skipped whole via the hot-header [TsMin,TsMax] span (acceptance: >=50% on narrow windows)",
+			fmt.Sprintf("subscriber: firehose ring under the %d-writer LinkBench write mix (%d ops)", writers, len(writeOps)),
+			"lag = publish (group-commit batch) to consumer delivery; sequence gaps must be 0 when nothing was dropped",
+		},
+	}
+	for _, s := range sweeps {
+		r.Rows = append(r.Rows, []string{
+			"window " + s.name,
+			fmt.Sprintf("%s KOps", kops(s.kops)),
+			fmt.Sprintf("pruned %.0f%% of pieces, %d edges returned", 100*s.prunedFrac, s.edges/rounds),
+		})
+	}
+	r.Rows = append(r.Rows,
+		[]string{"write KOps (8 writers)", kops(float64(len(writeOps)) / writeElapsed.Seconds()), fmt.Sprintf("%d events delivered", delivered)},
+		[]string{"delivery lag p50", fmt.Sprintf("%.1fus", float64(lagP50.Nanoseconds())/1e3), "firehose subscriber"},
+		[]string{"delivery lag p99", fmt.Sprintf("%.1fus", float64(lagP99.Nanoseconds())/1e3), "firehose subscriber"},
+		[]string{"events dropped", fmt.Sprint(dropped), "drop-oldest backpressure"},
+		[]string{"sequence gaps", fmt.Sprint(gaps), "per-partition monotone seq check"},
+		[]string{"path-in-window KOps", kops(pathKops), fmt.Sprintf("%d/%d found (maxHops 4, 3/4 window)", pathFound, pathQueries)},
+	)
+	return r, nil
+}
+
+// percentile returns the p-th percentile latency of the sample set.
+func percentile(lat []time.Duration, p int) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -26,6 +26,7 @@ import (
 	"zipg/internal/rpc"
 	"zipg/internal/store"
 	"zipg/internal/telemetry"
+	"zipg/internal/temporal"
 )
 
 // OwnerOf returns the server owning a node's data: the same
@@ -174,6 +175,7 @@ type ServerConfig struct {
 type Server struct {
 	cfg   ServerConfig
 	store *store.Store
+	temp  *temporal.Engine
 	rpc   *rpc.Server
 	addr  string
 
@@ -202,10 +204,11 @@ func NewServer(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema 
 	if err != nil {
 		return nil, fmt.Errorf("cluster: server %d: %w", cfg.ID, err)
 	}
-	s := &Server{cfg: cfg, store: st, rpc: rpc.NewServer()}
+	s := &Server{cfg: cfg, store: st, temp: temporal.NewEngine(st), rpc: rpc.NewServer()}
 	s.rpc.SetServerID(cfg.ID) // serve spans report which server they ran on
 	s.registerHandlers()
 	s.registerMultiLevel()
+	s.registerTemporal()
 	// The admin mux serves this store's codec/α state at /debug/codecs.
 	telemetry.RegisterAdminReport("codecs", func() string {
 		return store.FormatCodecReport(st.CodecReport())

@@ -242,6 +242,17 @@ type EdgeRecordRef struct {
 	propEnds []int   // prefix sums of property-list lengths; nil until first use
 }
 
+// HotSpan returns the record's [TsMin, TsMax] timestamp span read from
+// the hot-field header, for callers that prune whole records against a
+// time window without touching the timestamp array. ok is false on
+// legacy-format refs and empty records, where no span is available.
+func (r *EdgeRecordRef) HotSpan() (tsMin, tsMax int64, ok bool) {
+	if !r.hasHot || r.Count == 0 {
+		return 0, 0, false
+	}
+	return r.TsMin, r.TsMax, true
+}
+
 // EdgeFileView executes edge queries over a serialized EdgeFile. As with
 // NodeFileView it is agnostic to whether the source is compressed.
 type EdgeFileView struct {

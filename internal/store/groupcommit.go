@@ -140,6 +140,10 @@ func (s *Store) commitGroup() error {
 			s.addPtrLocked(p.Edge.Src, gen)
 		}
 	}
+	// One event per record, in batch order, published inside the same
+	// critical section that made the batch visible: subscribers see the
+	// commit's records contiguously and in order.
+	s.emitLocked(s.eventsForPuts(puts))
 	// At most one rollover check per batch instead of one per record:
 	// the threshold overshoot is bounded by one batch's bytes.
 	err := s.maybeRolloverLocked()

@@ -174,6 +174,9 @@ func Load(r io.Reader, med *memsim.Medium) (*Store, error) {
 		rollovers:    wire.Rollovers,
 	}
 	s.wc.init(wire.NumShards)
+	// Event sequences are runtime state: a reloaded store starts every
+	// partition's sequence at 0 (subscribers cannot span a restart).
+	s.events.init(wire.NumShards, 0)
 	if s.cfg.LogStoreThreshold <= 0 {
 		s.cfg.LogStoreThreshold = DefaultLogStoreThreshold
 	}

@@ -269,10 +269,61 @@ func (r *EdgeRecord) GetEdgeRange(tLo, tHi int64) (int, int) {
 	if p, ok := r.singleCleanPiece(); ok {
 		return p.shard.Edges().TimeRange(&p.ref, tLo, tHi)
 	}
+	// Fragmented records: when every piece carries a timestamp span
+	// (hot-header for compressed pieces, first/last entry for log
+	// pieces), a window that misses or covers the whole record is
+	// answered from metadata — no timestamp arrays are decoded and no
+	// merge index is built. The spans are conservative over deletions
+	// (live entries are a subset), so the three answers stay exact.
+	if r.merged == nil {
+		if lo, hi, ok := r.span(); ok {
+			switch {
+			case tHi <= lo:
+				return 0, 0
+			case tLo > hi:
+				return r.count, r.count
+			case tLo <= lo && tHi > hi:
+				return 0, r.count
+			}
+		}
+	}
 	r.ensureMerged()
 	beg := sort.Search(len(r.merged), func(i int) bool { return r.merged[i].ts >= tLo })
 	end := sort.Search(len(r.merged), func(i int) bool { return r.merged[i].ts >= tHi })
 	return beg, end
+}
+
+// span returns the record's overall [min, max] timestamp bounds when
+// every piece can report one cheaply: compressed pieces via the
+// hot-field header, log pieces via their (timestamp-sorted) first and
+// last entries. ok is false if any piece lacks a span (legacy-format
+// shards), in which case callers fall back to the merged index.
+func (r *EdgeRecord) span() (lo, hi int64, ok bool) {
+	first := true
+	for pi := range r.pieces {
+		p := &r.pieces[pi]
+		var plo, phi int64
+		if p.shard == nil {
+			if len(p.edges) == 0 {
+				continue
+			}
+			plo = p.edges[0].Timestamp
+			phi = p.edges[len(p.edges)-1].Timestamp
+		} else {
+			var hot bool
+			if plo, phi, hot = p.ref.HotSpan(); !hot {
+				return 0, 0, false
+			}
+		}
+		if first || plo < lo {
+			lo = plo
+		}
+		if first || phi > hi {
+			hi = phi
+		}
+		first = false
+	}
+	return lo, hi, !first
 }
 
 // Destinations returns the destination IDs of all live edges in

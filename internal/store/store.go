@@ -69,6 +69,9 @@ type Config struct {
 	// compaction once that many rollovers have accumulated since the
 	// last one.
 	CompactAfterRollovers int
+	// EventTailLen is the per-partition change-event tail capacity
+	// backing Catchup replay (0 = DefaultEventTailLen). See events.go.
+	EventTailLen int
 }
 
 // backgroundEnabled reports whether the configuration asks for the
@@ -151,6 +154,11 @@ type Store struct {
 	// rolloversSinceCompact drives the background compaction trigger.
 	rolloversSinceCompact int
 
+	// events is the change-event state: per-partition sequence counters,
+	// bounded tail rings and observers (see events.go). Mutated under
+	// s.mu so event order matches mutation visibility order.
+	events eventLog
+
 	// wc is the group-commit coordinator for the append path.
 	wc writeCoordinator
 	// bg is the background compaction worker (nil unless enabled).
@@ -178,6 +186,7 @@ func New(nodes []layout.Node, edges []layout.Edge, nodeSchema, edgeSchema *layou
 		shardReads:   make([]atomic.Int64, cfg.NumShards),
 	}
 	s.wc.init(cfg.NumShards)
+	s.events.init(cfg.NumShards, cfg.EventTailLen)
 
 	partNodes := make([][]layout.Node, cfg.NumShards)
 	partEdges := make([][]layout.Edge, cfg.NumShards)
@@ -284,6 +293,7 @@ func (s *Store) AppendNode(id layout.NodeID, props map[string]string) error {
 		}
 		delete(s.deletedNodes, id)
 		s.addPtrLocked(id, s.curGenLocked())
+		s.emitLocked([]Event{{Part: s.partitionOf(id), Kind: EvNodePut, Node: id, Props: props}})
 		return s.maybeRolloverLocked()
 	}
 	return s.submitWrite(s.partitionOf(id), put)
@@ -314,6 +324,7 @@ func (s *Store) AppendEdge(e layout.Edge) error {
 			return err
 		}
 		s.addPtrLocked(e.Src, s.curGenLocked())
+		s.emitLocked([]Event{{Part: s.partitionOf(e.Src), Kind: EvEdgeAdd, Node: e.Src, Edge: e}})
 		return s.maybeRolloverLocked()
 	}
 	return s.submitWrite(s.partitionOf(e.Src), put)
@@ -336,6 +347,10 @@ func (s *Store) DeleteNode(id layout.NodeID) {
 		}
 		s.replayNodeDels[id] = true
 	}
+	// Tombstone event under the same lock that made the delete visible:
+	// subscribers (and Catchup replay) observe deletes in exactly the
+	// order readers started missing the node.
+	s.emitLocked([]Event{{Part: s.partitionOf(id), Kind: EvNodeDel, Node: id}})
 	s.mu.Unlock()
 }
 
@@ -377,6 +392,10 @@ func (s *Store) DeleteEdges(src layout.NodeID, etype layout.EdgeType, dst layout
 		// delete so the swap re-applies it to the fresh fragments.
 		s.replayEdgeDels = append(s.replayEdgeDels, edgeTriple{src, etype, dst})
 	}
+	s.emitLocked([]Event{{
+		Part: s.partitionOf(src), Kind: EvEdgeDel, Node: src,
+		Edge: layout.Edge{Src: src, Type: etype, Dst: dst},
+	}})
 	return removed
 }
 

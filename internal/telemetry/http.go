@@ -39,6 +39,30 @@ func adminReport(name string) func() string {
 	return adminReports[name]
 }
 
+// adminStreams holds pluggable streaming endpoints: name → handler,
+// served at /stream/<name>. Unlike reports these get the raw
+// ResponseWriter so they can flush chunked long-lived responses (the
+// temporal subscribe feed).
+var (
+	adminStreamsMu sync.RWMutex
+	adminStreams   = map[string]http.HandlerFunc{}
+)
+
+// RegisterAdminStream publishes a streaming handler at /stream/<name>
+// on every admin handler. Re-registering a name replaces the handler.
+func RegisterAdminStream(name string, h http.HandlerFunc) {
+	adminStreamsMu.Lock()
+	defer adminStreamsMu.Unlock()
+	adminStreams[name] = h
+}
+
+// adminStream resolves a registered stream handler (nil if absent).
+func adminStream(name string) http.HandlerFunc {
+	adminStreamsMu.RLock()
+	defer adminStreamsMu.RUnlock()
+	return adminStreams[name]
+}
+
 // publishOnce guards the expvar publication (expvar panics on duplicate
 // names, and tests may build several handlers).
 var publishOnce sync.Once
@@ -55,6 +79,9 @@ var publishOnce sync.Once
 //	/debug/{name}     any report published via RegisterAdminReport
 //	                  (zipg-server registers "codecs": per-shard codec
 //	                  and sampling-rate report)
+//	/stream/{name}    any streaming handler published via
+//	                  RegisterAdminStream (zipg-server registers
+//	                  "subscribe": chunked NDJSON change feed)
 func AdminHandler() http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("zipg_metrics", expvar.Func(func() any {
@@ -141,6 +168,15 @@ func AdminHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, fn())
+	})
+	mux.HandleFunc("/stream/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/stream/")
+		h := adminStream(name)
+		if h == nil {
+			http.NotFound(w, r)
+			return
+		}
+		h(w, r)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

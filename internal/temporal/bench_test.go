@@ -1,0 +1,96 @@
+package temporal_test
+
+import (
+	"fmt"
+	"testing"
+
+	"zipg"
+)
+
+// benchGraph builds a time-fragmented store: edges append in timestamp
+// order through a small LogStore threshold, so frozen generations cover
+// disjoint timestamp bands and windowed scans have fragments to prune.
+func benchGraph(b *testing.B) (*zipg.Graph, int64, int64) {
+	b.Helper()
+	g := buildSubGraph(b, 64, 2)
+	const perSrc, srcs = 64, 32
+	ts := int64(1_000_000)
+	for i := 0; i < srcs*perSrc; i++ {
+		e := zipg.Edge{Src: int64(i % srcs), Dst: int64((i*7 + 13) % 64), Type: 1, Timestamp: ts}
+		if err := g.AppendEdge(e); err != nil {
+			b.Fatal(err)
+		}
+		ts += 100
+	}
+	return g, int64(1_000_000), ts
+}
+
+func BenchmarkAssocTimeRange(b *testing.B) {
+	g, lo, hi := benchGraph(b)
+	defer g.Close()
+	eng := g.Temporal()
+	span := hi - lo
+	for _, w := range []struct {
+		name   string
+		lo, hi int64
+	}{
+		{"narrow", hi - span/32, hi},
+		{"full", lo, hi},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.AssocTimeRange(int64(i%32), 1, w.lo, w.hi, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkAssocCountInWindow(b *testing.B) {
+	g, lo, hi := benchGraph(b)
+	defer g.Close()
+	eng := g.Temporal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.AssocCountInWindow(int64(i%32), 1, lo, hi)
+	}
+}
+
+func BenchmarkPathInWindow(b *testing.B) {
+	g, lo, hi := benchGraph(b)
+	defer g.Close()
+	eng := g.Temporal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.PathInWindow(int64(i%32), int64(32+i%32), lo, hi, 3)
+	}
+}
+
+// BenchmarkSubscribePublish measures the write path's per-mutation cost
+// with fanout subscribers attached (the deliver hook runs inside the
+// store's commit critical section, so this is the number that must stay
+// bounded).
+func BenchmarkSubscribePublish(b *testing.B) {
+	for _, nSubs := range []int{0, 1, 8} {
+		b.Run(fmt.Sprintf("subs=%d", nSubs), func(b *testing.B) {
+			g := buildSubGraph(b, 32, 2)
+			defer g.Close()
+			for i := 0; i < nSubs; i++ {
+				sub := g.Subscribe(zipg.SubscriptionFilter{}, 1024)
+				defer sub.Close()
+				// Leave the ring to wrap: drop-oldest is the steady state
+				// of an unconsumed subscriber and must stay O(1).
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := zipg.Edge{Src: int64(i % 32), Dst: int64((i + 1) % 32), Type: 1, Timestamp: int64(i)}
+				if err := g.AppendEdge(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

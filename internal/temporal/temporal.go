@@ -1,0 +1,189 @@
+// Package temporal is ZipG's temporal query engine: windowed analytics,
+// live change subscriptions and bounded temporal reachability, all
+// served over the existing compressed + LogStore substrate.
+//
+// The layout already stores per-record timestamp spans in the hot-field
+// edge header and keeps every fragment's edges timestamp-sorted; the
+// store already publishes every mutation as a sequence-numbered change
+// event from inside its commit critical section. This package composes
+// those pieces into three query classes:
+//
+//   - Windowed analytics (AssocTimeRange, AssocCountInWindow and the
+//     batch variant): per-fragment window pruning via the hot-header
+//     min/max span, fragment merge with tombstone filtering.
+//   - Live subscriptions (Subscribe/Catchup): per-subscriber bounded
+//     rings with drop-oldest backpressure, fed synchronously from the
+//     store's group-commit batches; Catchup replays the store's event
+//     tail so a lagging subscriber re-converges on the live stream.
+//   - Temporal reachability (PathInWindow): bounded-hop BFS that only
+//     traverses edges whose timestamps fall in the window, fanned
+//     per-hop over the shared worker pool.
+package temporal
+
+import (
+	"sort"
+	"sync"
+
+	"zipg/internal/graphapi"
+	"zipg/internal/layout"
+	"zipg/internal/parallel"
+	"zipg/internal/store"
+)
+
+// Engine serves temporal queries over one store and fans its change
+// events out to subscribers. Safe for concurrent use.
+type Engine struct {
+	st *store.Store
+
+	mu     sync.Mutex
+	subs   map[uint64]*Subscription
+	nextID uint64
+}
+
+// NewEngine builds an engine over st and taps its event stream. One
+// engine per store is the intended shape (the zipg.Graph accessor and
+// the cluster server each hold one).
+func NewEngine(st *store.Store) *Engine {
+	e := &Engine{st: st, subs: make(map[uint64]*Subscription)}
+	st.Observe(e.deliver)
+	return e
+}
+
+// Store returns the engine's underlying store.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// AssocTimeRange returns the live edges of (src, etype) with timestamps
+// in [tLo, tHi), timestamp-sorted, at most limit entries (limit <= 0:
+// unbounded). Wildcard bounds follow graphapi.TimeBounds.
+func (e *Engine) AssocTimeRange(src layout.NodeID, etype layout.EdgeType, tLo, tHi int64, limit int) []layout.EdgeData {
+	mQueryRange.Inc()
+	tLo, tHi = graphapi.TimeBounds(tLo, tHi)
+	out, _ := e.st.EdgesInWindow(src, etype, tLo, tHi)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// AssocCountInWindow returns how many live edges of (src, etype) carry
+// timestamps in [tLo, tHi). Fragments the window misses are answered
+// from the hot-header span; clean fully-covered fragments from record
+// metadata — no edge data is materialized.
+func (e *Engine) AssocCountInWindow(src layout.NodeID, etype layout.EdgeType, tLo, tHi int64) int {
+	mQueryCount.Inc()
+	tLo, tHi = graphapi.TimeBounds(tLo, tHi)
+	n, _ := e.st.CountInWindow(src, etype, tLo, tHi)
+	return n
+}
+
+// WindowReq names one windowed range read for the batch variant.
+type WindowReq struct {
+	Src  layout.NodeID
+	Type layout.EdgeType
+	TLo  int64
+	THi  int64
+}
+
+// AssocTimeRangeBatch answers AssocTimeRange for every request in one
+// vectorized pass: each request's window is resolved to a TimeOrder
+// index range through the span-short-circuited GetEdgeRange, and the
+// edge data for all requests is decoded by the store's locality-sorted
+// batch kernel (the PR 5 vectorized path). Results are positional and
+// identical to a scalar AssocTimeRange loop with no limit.
+func (e *Engine) AssocTimeRangeBatch(reqs []WindowReq) ([][]layout.EdgeData, error) {
+	mQueryBatch.Inc()
+	rngs := make([]store.AssocRangeReq, len(reqs))
+	for i, rq := range reqs {
+		tLo, tHi := graphapi.TimeBounds(rq.TLo, rq.THi)
+		rngs[i] = store.AssocRangeReq{ID: rq.Src, Type: rq.Type}
+		rec, ok := e.st.GetEdgeRecord(rq.Src, rq.Type)
+		if !ok || tLo >= tHi {
+			continue // Limit 0: yields nil, matching the scalar miss
+		}
+		beg, end := rec.GetEdgeRange(tLo, tHi)
+		rngs[i].Idx, rngs[i].Limit = beg, end-beg
+	}
+	return e.st.AssocRangeBatch(rngs)
+}
+
+// PathResult is one PathInWindow answer. When Found, Path holds the
+// node sequence src..dst (Hops = len(Path)-1, minimal for the window).
+type PathResult struct {
+	Found bool
+	Hops  int
+	Path  []layout.NodeID
+}
+
+// PathInWindow searches for a path from src to dst of at most maxHops
+// edges, every edge's timestamp in [tLo, tHi), traversing only live
+// nodes. BFS per hop; each frontier's expansions fan out over the
+// shared worker pool, and the answer is deterministic (lowest-ID parent
+// wins ties, so the returned path is the lexicographically-least among
+// minimal-hop paths).
+func (e *Engine) PathInWindow(src, dst layout.NodeID, tLo, tHi int64, maxHops int) PathResult {
+	mQueryPath.Inc()
+	tLo, tHi = graphapi.TimeBounds(tLo, tHi)
+	if !e.st.HasNode(src) || !e.st.HasNode(dst) {
+		return PathResult{}
+	}
+	if src == dst {
+		return PathResult{Found: true, Hops: 0, Path: []layout.NodeID{src}}
+	}
+	expand := func(frontier []layout.NodeID) [][]layout.NodeID {
+		return parallelNeighbors(frontier, func(id layout.NodeID) []layout.NodeID {
+			nbrs, _ := e.st.NeighborsInWindow(id, tLo, tHi)
+			return nbrs
+		})
+	}
+	return BFSInWindow(src, dst, maxHops, expand)
+}
+
+// parallelNeighbors expands every frontier node concurrently on the
+// shared worker pool, results index-aligned with the frontier.
+func parallelNeighbors(frontier []layout.NodeID, nbrs func(layout.NodeID) []layout.NodeID) [][]layout.NodeID {
+	return parallel.Map("temporal.expand_hop", len(frontier), func(i int) []layout.NodeID {
+		return nbrs(frontier[i])
+	})
+}
+
+// BFSInWindow is the shared BFS skeleton: expand is handed each sorted
+// frontier and returns, per frontier node, its in-window neighbors.
+// The cluster aggregator reuses it with a function-shipping expand.
+func BFSInWindow(src, dst layout.NodeID, maxHops int, expand func([]layout.NodeID) [][]layout.NodeID) PathResult {
+	visited := map[layout.NodeID]bool{src: true}
+	parent := make(map[layout.NodeID]layout.NodeID)
+	frontier := []layout.NodeID{src}
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		perNode := expand(frontier)
+		var next []layout.NodeID
+		for fi, nbrs := range perNode {
+			for _, n := range nbrs {
+				if visited[n] {
+					continue
+				}
+				visited[n] = true
+				parent[n] = frontier[fi]
+				if n == dst {
+					return PathResult{Found: true, Hops: hop, Path: rebuildPath(parent, src, dst)}
+				}
+				next = append(next, n)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+	return PathResult{}
+}
+
+// rebuildPath walks the parent links dst -> src and reverses.
+func rebuildPath(parent map[layout.NodeID]layout.NodeID, src, dst layout.NodeID) []layout.NodeID {
+	path := []layout.NodeID{dst}
+	for cur := dst; cur != src; {
+		cur = parent[cur]
+		path = append(path, cur)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

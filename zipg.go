@@ -23,6 +23,7 @@ package zipg
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"zipg/internal/bitutil"
@@ -30,6 +31,7 @@ import (
 	"zipg/internal/layout"
 	"zipg/internal/memsim"
 	"zipg/internal/store"
+	"zipg/internal/temporal"
 )
 
 // Data-model types (§2.1 of the paper).
@@ -107,6 +109,10 @@ type Options struct {
 // reads on compressed data are lock-free.
 type Graph struct {
 	s *store.Store
+
+	// temporal engine, built lazily by Temporal() (see temporal.go).
+	tempOnce sync.Once
+	temp     *temporal.Engine
 }
 
 // Compress builds the memory-efficient representation of a graph
